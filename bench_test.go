@@ -1,0 +1,58 @@
+package checkin_test
+
+import (
+	"testing"
+
+	"github.com/checkin-kv/checkin/internal/harness"
+)
+
+// One benchmark per paper table/figure. Each iteration regenerates the
+// artifact at a reduced scale (the full-size runs live in
+// cmd/checkin-bench); run with -benchtime=1x for a single regeneration:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// The harness prints the same rows the paper reports; benchmarks only
+// verify the generators run and time them.
+
+// benchOpts keeps benchmark iterations affordable: small query counts and a
+// short thread sweep.
+func benchOpts() harness.Opts {
+	return harness.Opts{Scale: 0.1, Threads: []int{4, 16}, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := harness.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)             { runExperiment(b, "table1") }
+func BenchmarkFig3aAmplification(b *testing.B)       { runExperiment(b, "fig3a") }
+func BenchmarkFig3bCheckpointTime(b *testing.B)      { runExperiment(b, "fig3b") }
+func BenchmarkFig3cLatencySpike(b *testing.B)        { runExperiment(b, "fig3c") }
+func BenchmarkFig8aRedundantWrites(b *testing.B)     { runExperiment(b, "fig8a") }
+func BenchmarkFig8bGC(b *testing.B)                  { runExperiment(b, "fig8b") }
+func BenchmarkLifetime(b *testing.B)                 { runExperiment(b, "lifetime") }
+func BenchmarkFig9TailLatency(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10CheckpointTime(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11aThroughput(b *testing.B)         { runExperiment(b, "fig11a") }
+func BenchmarkFig11bLatency(b *testing.B)            { runExperiment(b, "fig11b") }
+func BenchmarkFig12IntervalSensitivity(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFig13aMappingUnit(b *testing.B)        { runExperiment(b, "fig13a") }
+func BenchmarkFig13bSpaceOverhead(b *testing.B)      { runExperiment(b, "fig13b") }
+func BenchmarkAblations(b *testing.B)                { runExperiment(b, "ablation") }
+func BenchmarkCompareReplay(b *testing.B)            { runExperiment(b, "compare") }
+func BenchmarkRecovery(b *testing.B)                 { runExperiment(b, "recovery") }

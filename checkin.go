@@ -1,0 +1,423 @@
+// Package checkin is a simulation-backed reproduction of "Check-In:
+// In-Storage Checkpointing for Key-Value Store System Leveraging
+// Flash-Based SSDs" (ISCA 2020).
+//
+// It assembles a full simulated stack — NAND flash array, flash translation
+// layer with sub-page mapping and copy-on-write remapping, an NVMe-like SSD
+// controller hosting the in-storage checkpointing engine (ISCE), and the
+// Check-In storage engine with sector-aligned journaling — and runs YCSB
+// workloads against it under five checkpointing configurations (Baseline,
+// ISC-A, ISC-B, ISC-C, Check-In).
+//
+// Typical use:
+//
+//	cfg := checkin.DefaultConfig()
+//	cfg.Strategy = checkin.StrategyCheckIn
+//	db, err := checkin.Open(cfg)
+//	if err != nil { ... }
+//	db.Load()
+//	m, err := db.Run(checkin.RunSpec{Threads: 32, TotalQueries: 100_000,
+//		Mix: checkin.WorkloadA, Zipfian: true})
+//	fmt.Print(m.Summary())
+//
+// All time inside the simulation is virtual; runs are deterministic for a
+// given Config (including Seed).
+package checkin
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/checkin-kv/checkin/internal/core"
+	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/nand"
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/ssd"
+	"github.com/checkin-kv/checkin/internal/trace"
+	"github.com/checkin-kv/checkin/internal/workload"
+)
+
+// Strategy selects the checkpointing mechanism under test.
+type Strategy = core.Strategy
+
+// The five evaluated configurations (Section IV-A of the paper).
+const (
+	StrategyBaseline = core.StrategyBaseline
+	StrategyISCA     = core.StrategyISCA
+	StrategyISCB     = core.StrategyISCB
+	StrategyISCC     = core.StrategyISCC
+	StrategyCheckIn  = core.StrategyCheckIn
+)
+
+// Strategies lists every configuration in evaluation order.
+var Strategies = core.Strategies
+
+// ParseStrategy resolves a strategy from its display name (e.g. "ISC-C").
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Workload types re-exported for callers.
+type (
+	// Mix is an operation mix in percent (reads/updates/RMWs).
+	Mix = workload.Mix
+	// Sizer assigns stable record sizes to keys.
+	Sizer = workload.Sizer
+	// RunSpec describes one measured workload phase.
+	RunSpec = core.RunSpec
+	// Metrics is the result of a run.
+	Metrics = core.Metrics
+	// RecoveryReport describes a simulated crash-recovery pass.
+	RecoveryReport = core.RecoveryReport
+	// Trace is a recorded operation stream for strict replay comparisons
+	// (set RunSpec.Trace).
+	Trace = workload.Trace
+)
+
+// The paper's workload mixes, plus the rest of the standard YCSB suite.
+var (
+	WorkloadA  = workload.WorkloadA  // 50% read / 50% update (paper)
+	WorkloadF  = workload.WorkloadF  // 50% read / 50% RMW (paper)
+	WorkloadWO = workload.WorkloadWO // write-only (paper)
+	WorkloadB  = workload.WorkloadB  // 95% read / 5% update
+	WorkloadC  = workload.WorkloadC  // read-only
+	WorkloadD  = workload.WorkloadD  // 95% read / 5% update (pair with latest dist)
+	WorkloadE  = workload.WorkloadE  // 95% scans / 5% update
+)
+
+// Record-size helpers.
+var (
+	// PatternP1..P4 are the record-size mixes of Figure 13(b).
+	PatternP1 = workload.PatternP1
+	PatternP2 = workload.PatternP2
+	PatternP3 = workload.PatternP3
+	PatternP4 = workload.PatternP4
+)
+
+// FixedRecords returns a sizer giving every record the same size.
+func FixedRecords(size int) Sizer { return workload.FixedSizer{Size: size} }
+
+// MixedRecords returns a sizer drawing sizes from a weighted set.
+func MixedRecords(label string, sizes, weights []int) Sizer {
+	return workload.NewMixSizer(label, sizes, weights)
+}
+
+// RecordWorkload generates a reusable operation trace: replaying the same
+// trace against different configurations (RunSpec.Trace) compares them on
+// byte-identical inputs.
+func RecordWorkload(keys int64, sizer Sizer, mix Mix, zipfian bool, n int, seed int64) (*Trace, error) {
+	var dist workload.Distribution
+	if zipfian {
+		dist = workload.NewZipfian(keys, workload.DefaultTheta)
+	} else {
+		dist = workload.Uniform{Keys: keys}
+	}
+	gen, err := workload.NewGenerator(dist, sizer, mix, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	return workload.RecordTrace(gen, n), nil
+}
+
+// Config is the full machine configuration — the reproduction of Table I.
+// Zero fields are replaced by defaults at Open; start from DefaultConfig
+// and override what an experiment sweeps.
+type Config struct {
+	Strategy Strategy
+	Seed     int64
+
+	// Flash geometry.
+	Channels       int
+	DiesPerChannel int
+	PlanesPerDie   int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	PageSizeBytes  int
+
+	// Flash timing.
+	ReadLatency    time.Duration
+	ProgramLatency time.Duration
+	EraseLatency   time.Duration
+	ChannelMBps    int
+	MaxPECycles    int
+
+	// FTL.
+	MappingUnit   int // 0 → the strategy's default (4096 conventional, 512 sub-page)
+	OverProvision float64
+	MapCacheMB    int
+	// GCPolicy selects the garbage-collection victim policy:
+	// "greedy" (default), "cost-benefit", or "fifo".
+	GCPolicy string
+
+	// Controller.
+	QueueDepth  int
+	PCIeMBps    int
+	DataCacheMB int
+
+	// Engine (DBMS) settings.
+	Keys                 int64
+	Records              Sizer
+	JournalHalfMB        int
+	CheckpointInterval   time.Duration
+	JournalSoftFrac      float64
+	LockDuringCheckpoint bool
+
+	// CompressRatio models Algorithm 2's compression of journal logs
+	// larger than the mapping unit (1.0 = alignment only, no shrink).
+	CompressRatio float64
+
+	// AdaptiveLiveBudget, when positive, triggers a checkpoint whenever
+	// the journal mapping table reaches this many live entries — a
+	// bounded-work scheduling extension beyond the paper's fixed
+	// interval (0 = fixed interval only).
+	AdaptiveLiveBudget int
+
+	// DeferGC overrides the strategy default for the deallocator's
+	// deferred-GC behaviour (ablation knob; nil = strategy default).
+	DeferGC *bool
+
+	// HostCacheEntries bounds a host-memory LRU of record values (the
+	// engine's memtable/block cache): reads of cached keys skip the
+	// device. 0 keeps the paper's device-centric read model.
+	HostCacheEntries int
+
+	// TraceCapacity enables structured event tracing (checkpoints, journal
+	// commits, GC victims, wear-level moves) with a bounded ring of this
+	// many events. 0 disables tracing.
+	TraceCapacity int
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments, scaled to simulator-friendly sizes: a 512 MB-raw flash
+// device (4 channels × 2 dies × 2 planes × 128 blocks × 64 pages × 4 KB),
+// 50 k records of small mixed sizes, 32 MB journal halves and a 1 s
+// checkpoint interval (the paper's 60 s scaled to the shorter simulated
+// runs).
+func DefaultConfig() Config {
+	return Config{
+		Strategy:       StrategyCheckIn,
+		Seed:           1,
+		Channels:       4,
+		DiesPerChannel: 2,
+		PlanesPerDie:   2,
+		BlocksPerPlane: 128,
+		PagesPerBlock:  64,
+		PageSizeBytes:  4096,
+		ReadLatency:    50 * time.Microsecond,
+		ProgramLatency: 500 * time.Microsecond,
+		EraseLatency:   3 * time.Millisecond,
+		ChannelMBps:    400,
+		MaxPECycles:    3000,
+		OverProvision:  0.12,
+		MapCacheMB:     32,
+		QueueDepth:     64,
+		PCIeMBps:       3200,
+		DataCacheMB:    8,
+		Keys:           50_000,
+		Records: workload.NewMixSizer("default-small",
+			[]int{128, 256, 384, 512, 1024, 2048}, []int{2, 2, 1, 3, 1, 1}),
+		JournalHalfMB:      32,
+		CheckpointInterval: time.Second,
+		JournalSoftFrac:    0.7,
+	}
+}
+
+// DB is an open simulated key-value store system.
+type DB struct {
+	cfg    Config
+	eng    *sim.Engine
+	device *ssd.Device
+	engine *core.Engine
+	tracer *trace.Tracer
+}
+
+// Open assembles the simulated stack described by cfg.
+func Open(cfg Config) (*DB, error) {
+	def := DefaultConfig()
+	fill := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	fill(&cfg.Channels, def.Channels)
+	fill(&cfg.DiesPerChannel, def.DiesPerChannel)
+	fill(&cfg.PlanesPerDie, def.PlanesPerDie)
+	fill(&cfg.BlocksPerPlane, def.BlocksPerPlane)
+	fill(&cfg.PagesPerBlock, def.PagesPerBlock)
+	fill(&cfg.PageSizeBytes, def.PageSizeBytes)
+	fill(&cfg.ChannelMBps, def.ChannelMBps)
+	fill(&cfg.MaxPECycles, def.MaxPECycles)
+	fill(&cfg.MapCacheMB, def.MapCacheMB)
+	fill(&cfg.QueueDepth, def.QueueDepth)
+	fill(&cfg.PCIeMBps, def.PCIeMBps)
+	fill(&cfg.JournalHalfMB, def.JournalHalfMB)
+	if cfg.ReadLatency == 0 {
+		cfg.ReadLatency = def.ReadLatency
+	}
+	if cfg.ProgramLatency == 0 {
+		cfg.ProgramLatency = def.ProgramLatency
+	}
+	if cfg.EraseLatency == 0 {
+		cfg.EraseLatency = def.EraseLatency
+	}
+	if cfg.OverProvision == 0 {
+		cfg.OverProvision = def.OverProvision
+	}
+	if cfg.DataCacheMB == 0 {
+		cfg.DataCacheMB = def.DataCacheMB
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = def.Keys
+	}
+	if cfg.Records == nil {
+		cfg.Records = def.Records
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = def.CheckpointInterval
+	}
+	if cfg.JournalSoftFrac == 0 {
+		cfg.JournalSoftFrac = def.JournalSoftFrac
+	}
+	if cfg.CompressRatio == 0 {
+		cfg.CompressRatio = 0.85
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.MappingUnit == 0 {
+		cfg.MappingUnit = cfg.Strategy.DefaultMappingUnit()
+	}
+
+	eng := sim.NewEngine()
+
+	geo := nand.Geometry{
+		Channels:           cfg.Channels,
+		PackagesPerChannel: 1,
+		DiesPerPackage:     cfg.DiesPerChannel,
+		PlanesPerDie:       cfg.PlanesPerDie,
+		BlocksPerPlane:     cfg.BlocksPerPlane,
+		PagesPerBlock:      cfg.PagesPerBlock,
+		PageSize:           cfg.PageSizeBytes,
+	}
+	tim := nand.Timing{
+		ReadPage:    sim.VTime(cfg.ReadLatency.Nanoseconds()),
+		ProgramPage: sim.VTime(cfg.ProgramLatency.Nanoseconds()),
+		EraseBlock:  sim.VTime(cfg.EraseLatency.Nanoseconds()),
+		CmdOverhead: sim.Microsecond,
+		ChannelMBps: cfg.ChannelMBps,
+	}.WithDefaultEnergy()
+	array, err := nand.New(eng, geo, tim)
+	if err != nil {
+		return nil, fmt.Errorf("checkin: %w", err)
+	}
+	array.MaxPE = uint32(cfg.MaxPECycles)
+
+	fcfg := ftl.DefaultConfig()
+	fcfg.UnitSize = cfg.MappingUnit
+	fcfg.OverProvision = cfg.OverProvision
+	fcfg.MapCacheBytes = int64(cfg.MapCacheMB) << 20
+	fcfg.Parallelism = geo.TotalDies()
+	if fcfg.Parallelism > 8 {
+		fcfg.Parallelism = 8
+	}
+	deferGC := cfg.Strategy == StrategyCheckIn
+	if cfg.DeferGC != nil {
+		deferGC = *cfg.DeferGC
+	}
+	fcfg.DeferGC = deferGC
+	switch cfg.GCPolicy {
+	case "", "greedy":
+		fcfg.GCPolicy = ftl.GCGreedy
+	case "cost-benefit":
+		fcfg.GCPolicy = ftl.GCCostBenefit
+	case "fifo":
+		fcfg.GCPolicy = ftl.GCFIFO
+	default:
+		return nil, fmt.Errorf("checkin: unknown GCPolicy %q (want greedy, cost-benefit or fifo)", cfg.GCPolicy)
+	}
+	var tracer *trace.Tracer
+	if cfg.TraceCapacity > 0 {
+		tracer = trace.New(cfg.TraceCapacity)
+	}
+	fcfg.Tracer = tracer
+	translation, err := ftl.New(eng, array, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("checkin: %w", err)
+	}
+
+	dcfg := ssd.DefaultConfig()
+	dcfg.QueueDepth = cfg.QueueDepth
+	dcfg.PCIeMBps = cfg.PCIeMBps
+	dcfg.CacheBytes = int64(cfg.DataCacheMB) << 20
+	device, err := ssd.New(eng, translation, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("checkin: %w", err)
+	}
+
+	ecfg := core.DefaultConfig()
+	ecfg.Strategy = cfg.Strategy
+	ecfg.Keys = cfg.Keys
+	ecfg.Sizer = cfg.Records
+	ecfg.JournalHalfBytes = int64(cfg.JournalHalfMB) << 20
+	ecfg.CheckpointInterval = sim.VTime(cfg.CheckpointInterval.Nanoseconds())
+	ecfg.JournalSoftFrac = cfg.JournalSoftFrac
+	ecfg.CompressRatio = cfg.CompressRatio
+	ecfg.AdaptiveLiveBudget = cfg.AdaptiveLiveBudget
+	ecfg.Tracer = tracer
+	ecfg.HostCacheEntries = cfg.HostCacheEntries
+	ecfg.LockDuringCheckpoint = cfg.LockDuringCheckpoint
+	ecfg.Seed = cfg.Seed
+	engine, err := core.NewEngine(eng, device, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("checkin: %w", err)
+	}
+
+	return &DB{cfg: cfg, eng: eng, device: device, engine: engine, tracer: tracer}, nil
+}
+
+// Config returns the resolved configuration the DB runs with.
+func (db *DB) Config() Config { return db.cfg }
+
+// Load bulk-populates every record (the YCSB load phase). Call once before
+// the first Run.
+func (db *DB) Load() { db.engine.Load() }
+
+// Run executes a workload phase and returns its metrics.
+func (db *DB) Run(spec RunSpec) (*Metrics, error) { return db.engine.Run(spec) }
+
+// SimulateRecovery models a crash at the current instant and returns what a
+// restarted instance would reconstruct from the checkpoint and journal.
+func (db *DB) SimulateRecovery() *RecoveryReport { return db.engine.SimulateRecovery() }
+
+// DurableVersions returns per-key durable versions (ground truth for
+// recovery validation).
+func (db *DB) DurableVersions() []int64 { return db.engine.DurableVersions() }
+
+// Engine exposes the storage engine for advanced inspection.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Lifetime returns the projected flash lifetime per the paper's Equation
+// (1), using total simulated time as Top. Compare across configurations.
+func (db *DB) Lifetime() float64 {
+	return db.engine.Device().FTL().Array().Lifetime(db.eng.Now())
+}
+
+// FlashEnergyMJ returns cumulative flash energy in millijoules — the
+// energy side of the paper's write-amplification motivation.
+func (db *DB) FlashEnergyMJ() float64 {
+	return float64(db.engine.Device().FTL().Array().EnergyNJ()) / 1e6
+}
+
+// Trace returns the structured event tracer, or nil when tracing is
+// disabled (Config.TraceCapacity == 0).
+func (db *DB) Trace() *trace.Tracer { return db.tracer }
+
+// JournalStats returns journaling-layer counters (space overhead etc.).
+func (db *DB) JournalStats() core.JournalStats { return db.engine.JournalStats() }
+
+// SimulateSPOR models a sudden power-off at the device level: the SSD
+// rebuilds its mapping table purely from OOB records, remap aliases and
+// trim extents (the paper's Section III-G), and the report compares the
+// rebuilt table against the live one. Flush-backed state must match
+// exactly; units still in the volatile write buffer are (correctly) lost.
+func (db *DB) SimulateSPOR() *ftl.SPORReport {
+	return db.device.SimulateSPOR()
+}

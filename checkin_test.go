@@ -1,0 +1,390 @@
+package checkin_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/trace"
+)
+
+func smallConfig(s checkin.Strategy) checkin.Config {
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = s
+	cfg.Keys = 5_000
+	cfg.CheckpointInterval = 100 * time.Millisecond
+	return cfg
+}
+
+func TestOpenAllStrategies(t *testing.T) {
+	for _, s := range checkin.Strategies {
+		db, err := checkin.Open(smallConfig(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if db.Config().Strategy != s {
+			t.Errorf("%v: config strategy mismatch", s)
+		}
+		// Defaults fill zero fields.
+		if db.Config().QueueDepth == 0 || db.Config().PCIeMBps == 0 {
+			t.Errorf("%v: zero fields not defaulted", s)
+		}
+	}
+}
+
+func TestOpenRejectsOversizedLayout(t *testing.T) {
+	cfg := smallConfig(checkin.StrategyCheckIn)
+	cfg.Keys = 10_000_000
+	if _, err := checkin.Open(cfg); err == nil {
+		t.Fatal("oversized layout accepted")
+	}
+}
+
+func TestMappingUnitDefaultsPerStrategy(t *testing.T) {
+	for _, s := range checkin.Strategies {
+		db, err := checkin.Open(smallConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := db.Config().MappingUnit
+		want := s.DefaultMappingUnit()
+		if got != want {
+			t.Errorf("%v: mapping unit %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestEndToEndAllStrategies(t *testing.T) {
+	for _, s := range checkin.Strategies {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			db, err := checkin.Open(smallConfig(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.Load()
+			m, err := db.Run(checkin.RunSpec{
+				Threads: 8, TotalQueries: 12_000,
+				Mix: checkin.WorkloadA, Zipfian: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Queries != 12_000 {
+				t.Errorf("Queries = %d", m.Queries)
+			}
+			if m.Checkpoints() == 0 {
+				t.Error("no checkpoints completed")
+			}
+			if m.ThroughputQPS() <= 0 {
+				t.Error("no throughput")
+			}
+			// Recovery must reproduce the durable state for every strategy.
+			rep := db.SimulateRecovery()
+			for k, v := range db.DurableVersions() {
+				if rep.Recovered[k] != v {
+					t.Fatalf("key %d: recovered v%d, durable v%d", k, rep.Recovered[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestRedundantWriteOrdering(t *testing.T) {
+	// The paper's headline: redundant writes Baseline ≫ ISC-C > Check-In.
+	results := map[checkin.Strategy]uint64{}
+	for _, s := range []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyISCC, checkin.StrategyCheckIn} {
+		db, err := checkin.Open(smallConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Load()
+		m, err := db.Run(checkin.RunSpec{
+			Threads: 8, TotalQueries: 20_000,
+			Mix: checkin.WorkloadWO, Zipfian: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[s] = m.RedundantWrites()
+	}
+	base, iscc, ci := results[checkin.StrategyBaseline], results[checkin.StrategyISCC], results[checkin.StrategyCheckIn]
+	if !(ci < iscc && iscc < base) {
+		t.Errorf("redundant writes ordering violated: baseline=%d iscc=%d checkin=%d", base, iscc, ci)
+	}
+	if ci > base/5 {
+		t.Errorf("Check-In redundant writes %d not ≪ baseline %d", ci, base)
+	}
+}
+
+func TestCheckpointTimeOrdering(t *testing.T) {
+	// Locked checkpoint time: remap strategies far below the copy family.
+	results := map[checkin.Strategy]time.Duration{}
+	for _, s := range []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyCheckIn} {
+		cfg := smallConfig(s)
+		cfg.LockDuringCheckpoint = true
+		db, err := checkin.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Load()
+		m, err := db.Run(checkin.RunSpec{
+			Threads: 8, TotalQueries: 15_000,
+			Mix: checkin.WorkloadWO, Zipfian: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Checkpoints() == 0 {
+			t.Fatalf("%v: no checkpoints", s)
+		}
+		results[s] = time.Duration(m.MeanCheckpointTime())
+	}
+	if results[checkin.StrategyCheckIn]*3 > results[checkin.StrategyBaseline] {
+		t.Errorf("Check-In checkpoint %v not ≪ baseline %v",
+			results[checkin.StrategyCheckIn], results[checkin.StrategyBaseline])
+	}
+}
+
+func TestDeterministicPublicRuns(t *testing.T) {
+	out := make([]string, 2)
+	for i := range out {
+		db, err := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Load()
+		m, err := db.Run(checkin.RunSpec{
+			Threads: 4, TotalQueries: 5_000,
+			Mix: checkin.WorkloadF, Zipfian: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = fmt.Sprintf("%v %d %d %d", m.Elapsed, m.FlashPrograms(), m.Checkpoints(), m.ReadQueries)
+	}
+	if out[0] != out[1] {
+		t.Errorf("runs diverged: %s vs %s", out[0], out[1])
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	elapsed := make([]time.Duration, 2)
+	for i, seed := range []int64{1, 2} {
+		cfg := smallConfig(checkin.StrategyCheckIn)
+		cfg.Seed = seed
+		db, err := checkin.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Load()
+		m, err := db.Run(checkin.RunSpec{Threads: 4, TotalQueries: 5_000, Mix: checkin.WorkloadA, Zipfian: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[i] = time.Duration(m.Elapsed)
+	}
+	if elapsed[0] == elapsed[1] {
+		t.Error("different seeds produced identical elapsed times (suspicious)")
+	}
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range checkin.Strategies {
+		got, err := checkin.ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := checkin.ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestRecordSizers(t *testing.T) {
+	f := checkin.FixedRecords(777)
+	if f.SizeOf(0) != 777 {
+		t.Error("FixedRecords wrong")
+	}
+	m := checkin.MixedRecords("mix", []int{100, 200}, []int{1, 1})
+	if sz := m.SizeOf(42); sz != 100 && sz != 200 {
+		t.Errorf("MixedRecords produced %d", sz)
+	}
+	for _, p := range []checkin.Sizer{checkin.PatternP1, checkin.PatternP2, checkin.PatternP3, checkin.PatternP4} {
+		if !strings.HasPrefix(p.Name(), "P") {
+			t.Errorf("pattern name %q", p.Name())
+		}
+	}
+}
+
+func TestJournalStatsExposed(t *testing.T) {
+	db, err := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	if _, err := db.Run(checkin.RunSpec{Threads: 4, TotalQueries: 4_000, Mix: checkin.WorkloadWO, Zipfian: false}); err != nil {
+		t.Fatal(err)
+	}
+	js := db.JournalStats()
+	if js.Logs == 0 || js.StoredBytes == 0 {
+		t.Errorf("journal stats empty: %+v", js)
+	}
+	if js.SpaceOverhead() < 1 {
+		t.Errorf("aligned journaling overhead %v < 1", js.SpaceOverhead())
+	}
+	if db.Lifetime() <= 0 {
+		t.Error("lifetime projection not positive")
+	}
+}
+
+func TestDeferGCOverride(t *testing.T) {
+	no := false
+	cfg := smallConfig(checkin.StrategyCheckIn)
+	cfg.DeferGC = &no
+	if _, err := checkin.Open(cfg); err != nil {
+		t.Fatalf("DeferGC override rejected: %v", err)
+	}
+}
+
+func TestMixReexports(t *testing.T) {
+	if checkin.WorkloadA.ReadPct != 50 || checkin.WorkloadA.UpdatePct != 50 {
+		t.Error("WorkloadA wrong")
+	}
+	if checkin.WorkloadF.RMWPct != 50 {
+		t.Error("WorkloadF wrong")
+	}
+	if checkin.WorkloadWO.UpdatePct != 100 {
+		t.Error("WorkloadWO wrong")
+	}
+}
+
+func TestSimulateSPOR(t *testing.T) {
+	db, err := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	if _, err := db.Run(checkin.RunSpec{Threads: 8, TotalQueries: 10_000, Mix: checkin.WorkloadA, Zipfian: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.SimulateSPOR()
+	if rep.Mismatches != 0 {
+		t.Fatalf("device SPOR diverged: %s", rep)
+	}
+	if rep.ScannedPages == 0 || rep.BoundUnits == 0 {
+		t.Errorf("SPOR did nothing: %s", rep)
+	}
+	if rep.Duration == 0 {
+		t.Error("SPOR scan cost not modeled")
+	}
+}
+
+func TestTracing(t *testing.T) {
+	cfg := smallConfig(checkin.StrategyCheckIn)
+	cfg.TraceCapacity = 4096
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	if _, err := db.Run(checkin.RunSpec{Threads: 8, TotalQueries: 10_000, Mix: checkin.WorkloadWO, Zipfian: true}); err != nil {
+		t.Fatal(err)
+	}
+	tr := db.Trace()
+	if tr == nil {
+		t.Fatal("tracer nil despite TraceCapacity")
+	}
+	if tr.Count(trace.KindCheckpointBegin) == 0 || tr.Count(trace.KindCheckpointEnd) == 0 {
+		t.Error("no checkpoint events traced")
+	}
+	if tr.Count(trace.KindJournalCommit) == 0 {
+		t.Error("no journal commits traced")
+	}
+	if tr.Count(trace.KindJournalSwitch) == 0 {
+		t.Error("no journal switches traced")
+	}
+	// Begin/end must pair up.
+	if tr.Count(trace.KindCheckpointBegin) != tr.Count(trace.KindCheckpointEnd) {
+		t.Errorf("unbalanced checkpoint events: %d begins, %d ends",
+			tr.Count(trace.KindCheckpointBegin), tr.Count(trace.KindCheckpointEnd))
+	}
+	// Disabled by default.
+	db2, _ := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+	if db2.Trace() != nil {
+		t.Error("tracer on by default")
+	}
+}
+
+func TestRecordWorkloadAndEnergy(t *testing.T) {
+	tr, err := checkin.RecordWorkload(1000, checkin.FixedRecords(512), checkin.WorkloadA, true, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 500 {
+		t.Fatalf("trace length %d", len(tr.Ops))
+	}
+	if _, err := checkin.RecordWorkload(1000, checkin.FixedRecords(512), checkin.Mix{ReadPct: 5}, false, 10, 1); err == nil {
+		t.Error("bad mix accepted")
+	}
+	// uniform path
+	tr2, err := checkin.RecordWorkload(1000, checkin.FixedRecords(512), checkin.WorkloadWO, false, 100, 7)
+	if err != nil || len(tr2.Ops) != 100 {
+		t.Fatalf("uniform record failed: %v", err)
+	}
+
+	db, err := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	if db.FlashEnergyMJ() <= 0 {
+		t.Error("load consumed no flash energy")
+	}
+}
+
+func TestOpenFillsTimingDefaults(t *testing.T) {
+	cfg := checkin.Config{Strategy: checkin.StrategyBaseline, Keys: 1000}
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.Config()
+	if got.ReadLatency == 0 || got.ProgramLatency == 0 || got.EraseLatency == 0 ||
+		got.OverProvision == 0 || got.CheckpointInterval == 0 || got.JournalSoftFrac == 0 ||
+		got.Seed == 0 || got.Records == nil || got.CompressRatio == 0 {
+		t.Errorf("defaults not filled: %+v", got)
+	}
+}
+
+func TestWorkloadEEndToEnd(t *testing.T) {
+	db, err := checkin.Open(smallConfig(checkin.StrategyCheckIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	m, err := db.Run(checkin.RunSpec{Threads: 4, TotalQueries: 1000, Mix: checkin.WorkloadE, Zipfian: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries != 1000 {
+		t.Errorf("Queries = %d", m.Queries)
+	}
+}
+
+func TestGCPolicyConfig(t *testing.T) {
+	for _, pol := range []string{"", "greedy", "cost-benefit", "fifo"} {
+		cfg := smallConfig(checkin.StrategyCheckIn)
+		cfg.GCPolicy = pol
+		if _, err := checkin.Open(cfg); err != nil {
+			t.Errorf("policy %q rejected: %v", pol, err)
+		}
+	}
+	cfg := smallConfig(checkin.StrategyCheckIn)
+	cfg.GCPolicy = "bogus"
+	if _, err := checkin.Open(cfg); err == nil {
+		t.Error("bogus GC policy accepted")
+	}
+}

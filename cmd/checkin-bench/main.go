@@ -1,0 +1,123 @@
+// Command checkin-bench regenerates the paper's evaluation tables and
+// figures from the simulated Check-In system.
+//
+// Usage:
+//
+//	checkin-bench -list
+//	checkin-bench -experiment fig9
+//	checkin-bench -experiment all -scale 0.5 -threads 4,16,64
+//
+// Output is an ASCII table per experiment with a note relating the measured
+// shape to the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/checkin-kv/checkin/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or comma-separated ids or 'all'")
+		scale      = flag.Float64("scale", 1.0, "scales per-point query counts")
+		threads    = flag.String("threads", "4,16,64,128", "comma-separated thread sweep")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		seeds      = flag.String("seeds", "", "comma-separated seeds: run each experiment once per seed (variance evidence); overrides -seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+		os.Exit(2)
+	}
+	seedList := []int64{*seed}
+	if *seeds != "" {
+		seedList = seedList[:0]
+		for _, part := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil || v == 0 {
+				fmt.Fprintf(os.Stderr, "checkin-bench: bad seed %q\n", part)
+				os.Exit(2)
+			}
+			seedList = append(seedList, v)
+		}
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+
+	for _, id := range ids {
+		exp, err := harness.Lookup(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+			os.Exit(2)
+		}
+		for _, sd := range seedList {
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd}
+			start := time.Now()
+			table, err := exp.Run(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "checkin-bench: %s failed: %v\n", exp.ID, err)
+				os.Exit(1)
+			}
+			if len(seedList) > 1 {
+				table.Title += fmt.Sprintf(" [seed %d]", sd)
+			}
+			table.Render(os.Stdout)
+			fmt.Printf("  (%s in %.1fs wall)\n", exp.ID, time.Since(start).Seconds())
+			if *markdown != "" {
+				f, err := os.OpenFile(*markdown, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+					os.Exit(1)
+				}
+				table.RenderMarkdown(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty thread list")
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+// Command checkin-sim runs one simulated key-value store configuration and
+// prints its metrics — the single-run front end to the Check-In
+// reproduction (checkin-bench drives full paper experiments).
+//
+// Usage:
+//
+//	checkin-sim -strategy Check-In -threads 64 -queries 100000 -workload A
+//	checkin-sim -print-config
+//	checkin-sim -strategy Baseline -recover
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+func main() {
+	var (
+		strategy    = flag.String("strategy", "Check-In", "Baseline | ISC-A | ISC-B | ISC-C | Check-In")
+		threads     = flag.Int("threads", 64, "client threads")
+		queries     = flag.Int64("queries", 50_000, "total queries")
+		wl          = flag.String("workload", "A", "A | F | WO")
+		dist        = flag.String("distribution", "zipfian", "zipfian | uniform")
+		keys        = flag.Int64("keys", 20_000, "record count")
+		interval    = flag.Duration("interval", 300*time.Millisecond, "checkpoint interval (simulated)")
+		unit        = flag.Int("unit", 0, "FTL mapping unit bytes (0 = strategy default)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		lock        = flag.Bool("lock", false, "lock query admission during checkpoints")
+		doRecover   = flag.Bool("recover", false, "simulate a crash + recovery after the run")
+		doSPOR      = flag.Bool("spor", false, "simulate a sudden power-off + device OOB recovery after the run")
+		timeline    = flag.String("timeline", "", "write a CSV timeline of the run to this file (10ms samples)")
+		dumpTrace   = flag.Bool("trace", false, "print the run's structured event trace summary and tail")
+		printConfig = flag.Bool("print-config", false, "print the resolved configuration and exit")
+	)
+	flag.Parse()
+
+	s, err := checkin.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	var mix checkin.Mix
+	switch *wl {
+	case "A":
+		mix = checkin.WorkloadA
+	case "F":
+		mix = checkin.WorkloadF
+	case "WO":
+		mix = checkin.WorkloadWO
+	default:
+		fatal(fmt.Errorf("unknown workload %q (want A, F or WO)", *wl))
+	}
+	zipf := *dist == "zipfian"
+	if !zipf && *dist != "uniform" {
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = s
+	cfg.Keys = *keys
+	cfg.CheckpointInterval = *interval
+	cfg.MappingUnit = *unit
+	cfg.Seed = *seed
+	cfg.LockDuringCheckpoint = *lock
+	if *dumpTrace {
+		cfg.TraceCapacity = 10_000
+	}
+
+	if *printConfig {
+		fmt.Printf("%+v\n", cfg)
+		return
+	}
+
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loading %d records (%s)...\n", cfg.Keys, cfg.Records.Name())
+	db.Load()
+
+	fmt.Printf("running %d queries, workload %s, %s, %d threads, strategy %v\n",
+		*queries, *wl, *dist, *threads, s)
+	start := time.Now()
+	spec := checkin.RunSpec{
+		Threads:      *threads,
+		TotalQueries: *queries,
+		Mix:          mix,
+		Zipfian:      zipf,
+	}
+	if *timeline != "" {
+		spec.SampleInterval = 10 * 1000 * 1000 // 10ms in simulated ns
+	}
+	m, err := db.Run(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s", m.Summary())
+	fmt.Printf("journal space overhead %.3f\n", m.JournalSpaceOverhead())
+	fmt.Printf("lifetime projection    %.0f (PEC*Top/BEC)\n", db.Lifetime())
+	fmt.Printf("wall time              %.2fs\n", time.Since(start).Seconds())
+
+	if *timeline != "" && m.Timeline != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Timeline.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if spark, err := m.Timeline.Sparkline("kqps", 60); err == nil {
+			fmt.Printf("throughput timeline    %s\n", spark)
+		}
+		fmt.Printf("timeline written to %s (%d samples)\n", *timeline, m.Timeline.Len())
+	}
+
+	if *dumpTrace && db.Trace() != nil {
+		fmt.Printf("\nevent counts:\n%s", db.Trace().Summary())
+		evs := db.Trace().Events()
+		tail := evs
+		if len(tail) > 20 {
+			tail = tail[len(tail)-20:]
+		}
+		fmt.Println("last events:")
+		for _, ev := range tail {
+			fmt.Println(" ", ev)
+		}
+	}
+
+	if *doSPOR {
+		rep := db.SimulateSPOR()
+		fmt.Printf("\n%s\n", rep)
+		if rep.Mismatches != 0 {
+			fatal(fmt.Errorf("SPOR mismatches: %d", rep.Mismatches))
+		}
+	}
+
+	if *doRecover {
+		rep := db.SimulateRecovery()
+		ok := 0
+		durable := db.DurableVersions()
+		for k, v := range durable {
+			if rep.Recovered[k] == v {
+				ok++
+			}
+		}
+		fmt.Printf("\nrecovery: %d/%d keys match durable state, %d logs replayed, %v recovery time\n",
+			ok, len(durable), rep.ReplayedLogs, rep.RecoveryTime)
+		if ok != len(durable) {
+			fatal(fmt.Errorf("recovery mismatch: %d keys diverged", len(durable)-ok))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkin-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Quickstart: open a simulated Check-In key-value store system, load it,
+// run a short YCSB-A burst, checkpoint, and verify crash recovery.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+func main() {
+	// The default configuration is a 512 MB simulated flash device running
+	// the full Check-In stack: sector-aligned journaling plus in-storage
+	// checkpointing by FTL remap.
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = checkin.StrategyCheckIn
+	cfg.Keys = 20_000
+	cfg.CheckpointInterval = 200 * time.Millisecond
+
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loading records...")
+	db.Load()
+
+	fmt.Println("running 30k YCSB-A queries on 16 client threads...")
+	m, err := db.Run(checkin.RunSpec{
+		Threads:      16,
+		TotalQueries: 30_000,
+		Mix:          checkin.WorkloadA,
+		Zipfian:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(m.Summary())
+
+	// Simulate pulling the plug right now: everything volatile is lost;
+	// a restarted instance rebuilds from the last checkpoint plus the
+	// committed journal logs.
+	rep := db.SimulateRecovery()
+	durable := db.DurableVersions()
+	mismatches := 0
+	for k, v := range durable {
+		if rep.Recovered[k] != v {
+			mismatches++
+		}
+	}
+	fmt.Printf("\ncrash recovery: %d logs replayed in %v, %d/%d keys match the durable state\n",
+		rep.ReplayedLogs, rep.RecoveryTime, len(durable)-mismatches, len(durable))
+	if mismatches > 0 {
+		log.Fatalf("recovery diverged on %d keys", mismatches)
+	}
+	fmt.Println("recovery OK — no committed update was lost")
+}

@@ -1,0 +1,74 @@
+// Crash-recovery demonstration: runs update traffic, crashes the system at
+// three interesting instants — mid-traffic, mid-checkpoint, and right after
+// a checkpoint — and shows what a restarted instance reconstructs from the
+// last checkpoint plus the committed journal (Section III-G of the paper).
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+func main() {
+	scenarios := []struct {
+		name     string
+		interval time.Duration
+		queries  int64
+	}{
+		{"crash shortly after load (journal only)", time.Hour, 5_000},
+		{"crash with checkpoints flowing", 100 * time.Millisecond, 40_000},
+		{"crash after heavy churn", 250 * time.Millisecond, 80_000},
+	}
+
+	for _, sc := range scenarios {
+		cfg := checkin.DefaultConfig()
+		cfg.Strategy = checkin.StrategyCheckIn
+		cfg.Keys = 10_000
+		cfg.CheckpointInterval = sc.interval
+
+		db, err := checkin.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Load()
+		if _, err := db.Run(checkin.RunSpec{
+			Threads:      16,
+			TotalQueries: sc.queries,
+			Mix:          checkin.WorkloadWO,
+			Zipfian:      true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+		// Pull the plug.
+		rep := db.SimulateRecovery()
+		durable := db.DurableVersions()
+
+		mismatch := 0
+		for k, v := range durable {
+			if rep.Recovered[k] != v {
+				mismatch++
+			}
+		}
+		fmt.Printf("%s:\n", sc.name)
+		fmt.Printf("  keys restored from checkpoint : %d\n", rep.FromCheckpoint)
+		fmt.Printf("  journal logs replayed         : %d (%d KB read)\n",
+			rep.ReplayedLogs, rep.JournalBytesRead/1024)
+		fmt.Printf("  simulated recovery time       : %v\n", rep.RecoveryTime)
+		if mismatch == 0 {
+			fmt.Printf("  result: every committed update recovered, none lost\n\n")
+		} else {
+			fmt.Printf("  result: %d keys DIVERGED (bug!)\n\n", mismatch)
+			log.Fatal("recovery mismatch")
+		}
+	}
+
+	fmt.Println("The device guarantees the checkpointed state via the flash mapping")
+	fmt.Println("table (plus OOB records for its own recovery); the engine replays")
+	fmt.Println("only the journal tail written after the last checkpoint.")
+}

@@ -1,0 +1,65 @@
+// YCSB comparison: runs workloads A, F and WO against the Baseline and
+// Check-In configurations and prints throughput, mean latency and the
+// checkpoint-sensitive tail percentiles side by side — the experiment a
+// storage engineer would run first to decide whether in-storage
+// checkpointing pays off for their workload.
+//
+//	go run ./examples/ycsb [-threads 32] [-queries 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+func main() {
+	threads := flag.Int("threads", 32, "client threads")
+	queries := flag.Int64("queries", 60_000, "queries per run")
+	flag.Parse()
+
+	workloads := []struct {
+		name string
+		mix  checkin.Mix
+	}{
+		{"A (50r/50u)", checkin.WorkloadA},
+		{"F (50r/50rmw)", checkin.WorkloadF},
+		{"WO (100u)", checkin.WorkloadWO},
+	}
+	strategies := []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyCheckIn}
+
+	fmt.Printf("%-14s %-9s %10s %12s %12s %12s\n",
+		"workload", "strategy", "kqps", "mean µs", "p99.9 µs", "ckpt ms")
+	for _, wl := range workloads {
+		for _, s := range strategies {
+			cfg := checkin.DefaultConfig()
+			cfg.Strategy = s
+			cfg.CheckpointInterval = 500 * time.Millisecond
+			db, err := checkin.Open(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			db.Load()
+			m, err := db.Run(checkin.RunSpec{
+				Threads:      *threads,
+				TotalQueries: *queries,
+				Mix:          wl.mix,
+				Zipfian:      true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %-9v %10.1f %12.1f %12.1f %12.1f\n",
+				wl.name, s,
+				m.ThroughputQPS()/1e3,
+				float64(m.MeanLatency())/1e3,
+				float64(m.AllLat.Percentile(99.9))/1e3,
+				float64(m.MeanCheckpointTime())/1e6)
+		}
+	}
+	fmt.Println("\nCheck-In's advantage concentrates in the tail: the remap checkpoint")
+	fmt.Println("does (almost) no flash writes, so queries never queue behind a burst.")
+}

@@ -1,0 +1,3 @@
+module github.com/checkin-kv/checkin
+
+go 1.24

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/ssd"
+)
+
+// checkpointer executes one checkpoint over a journal snapshot. The five
+// implementations mirror the paper's configuration breakdown; all run in a
+// simulated process so they can overlap with query traffic.
+type checkpointer interface {
+	Run(p *sim.Proc, en *Engine, snap ckptSnapshot)
+}
+
+func newCheckpointer(s Strategy, cfg Config) checkpointer {
+	switch s {
+	case StrategyBaseline:
+		return &baselineCkpt{window: cfg.CkptReadWindow}
+	case StrategyISCA:
+		return &singleCoWCkpt{window: cfg.CkptCoWWindow}
+	case StrategyISCB:
+		return &multiCoWCkpt{batch: cfg.MultiCoWBatch}
+	case StrategyISCC, StrategyCheckIn:
+		return &remapCkpt{batch: cfg.CkptCmdBatch, aligned: s.SectorAligned()}
+	default:
+		panic("core: unknown strategy")
+	}
+}
+
+// latestEntries filters a snapshot down to the entries Algorithm 1 would
+// act on (flag != OLD), in journal order.
+func latestEntries(snap ckptSnapshot) []*jmtEntry {
+	out := make([]*jmtEntry, 0, snap.jmt.Live())
+	for _, e := range snap.jmt.Entries() {
+		if !e.old {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// baselineCkpt is conventional engine-side checkpointing: journal logs are
+// read into host memory through the block interface and the latest versions
+// are written back to their data-area targets, followed by a metadata
+// update (Figure 2(c) / Figure 4(a)).
+type baselineCkpt struct {
+	window int // in-flight I/O window while draining the journal
+}
+
+func (c *baselineCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
+	entries := latestEntries(snap)
+	w := c.window
+	if w < 1 {
+		w = 32
+	}
+	for i := 0; i < len(entries); i += w {
+		chunk := entries[i:min(i+w, len(entries))]
+		// read the journal logs into a host buffer; each block request
+		// costs the host software path before it reaches the device
+		reads := make([]*sim.Future, len(chunk))
+		for k, e := range chunk {
+			p.Sleep(en.cfg.HostIOOverhead)
+			reads[k] = en.dev.Read(e.off, int64(e.payload))
+		}
+		p.WaitAll(reads)
+		// ... then write the latest data back to the data area. Waiting
+		// on the flush (not the write futures) avoids stalling on
+		// partially filled pages under sub-page mapping units.
+		for _, e := range chunk {
+			p.Sleep(en.cfg.HostIOOverhead)
+			en.dev.Write(e.targetOff, int64(e.payload), ssd.AreaCheckpoint)
+		}
+		p.Wait(en.dev.Flush(ssd.AreaCheckpoint))
+	}
+	// metadata describing the new checkpoint, then make it all durable
+	metaLen := roundUp(int64(len(entries))*32, hostSector)
+	if metaLen > en.layout.MetaBytes {
+		metaLen = en.layout.MetaBytes
+	}
+	if metaLen > 0 {
+		en.dev.Write(en.layout.MetaStart, metaLen, ssd.AreaData)
+	}
+	p.Wait(en.dev.Flush(ssd.AreaData))
+}
+
+// singleCoWCkpt is ISC-A: one vendor-specific CoW command per journal log.
+// No data crosses the host link, but the command count equals the log count
+// and the queue depth becomes the bottleneck.
+type singleCoWCkpt struct {
+	window int
+}
+
+func (c *singleCoWCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
+	entries := latestEntries(snap)
+	w := c.window
+	if w < 1 {
+		w = 128
+	}
+	for i := 0; i < len(entries); i += w {
+		chunk := entries[i:min(i+w, len(entries))]
+		futs := make([]*sim.Future, len(chunk))
+		for k, e := range chunk {
+			p.Sleep(en.cfg.HostIOOverhead)
+			futs[k] = en.dev.CoW(e.off, e.targetOff, int64(e.payload))
+		}
+		p.WaitAll(futs)
+	}
+	p.Wait(en.dev.Flush(ssd.AreaData))
+}
+
+// multiCoWCkpt is ISC-B: CoW pairs are batched into multi-CoW commands,
+// reducing command overhead to a negligible level and letting the device
+// schedule consecutive reads and consecutive writes.
+type multiCoWCkpt struct {
+	batch int
+}
+
+func (c *multiCoWCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
+	entries := latestEntries(snap)
+	b := c.batch
+	if b < 1 {
+		b = 128
+	}
+	// At most two commands in flight: the device works on one batch while
+	// the next is queued, and host queries get service in between — a
+	// device that let one checkpoint command book every die for hundreds
+	// of milliseconds would starve the host.
+	var prev *sim.Future
+	for i := 0; i < len(entries); i += b {
+		chunk := entries[i:min(i+b, len(entries))]
+		pairs := make([]ssd.CoWPair, len(chunk))
+		for k, e := range chunk {
+			pairs[k] = ssd.CoWPair{Src: e.off, Dst: e.targetOff, Len: int64(e.payload)}
+		}
+		p.Sleep(en.cfg.HostIOOverhead)
+		cur := en.dev.MultiCoW(pairs)
+		if prev != nil {
+			p.Wait(prev)
+		}
+		prev = cur
+	}
+	if prev != nil {
+		p.Wait(prev)
+	}
+	p.Wait(en.dev.Flush(ssd.AreaData))
+}
+
+// remapCkpt serves both ISC-C and Check-In: the whole JMT (including OLD
+// entries, which the device skips per Algorithm 1) ships to the device in
+// checkpoint-request commands and the FTL checkpoints by remapping. Whether
+// entries remap purely or degrade to read-merge-writes depends on how the
+// journal laid the logs out — Check-In's sector-aligned format is what
+// makes the remap path effective.
+type remapCkpt struct {
+	batch   int
+	aligned bool
+}
+
+func (c *remapCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
+	all := snap.jmt.Entries()
+	b := c.batch
+	if b < 1 {
+		b = 512
+	}
+	unit := int64(en.dev.FTL().UnitSize())
+	var prev *sim.Future
+	for i := 0; i < len(all); i += b {
+		chunk := all[i:min(i+b, len(all))]
+		reqs := make([]ssd.RemapEntry, len(chunk))
+		for k, e := range chunk {
+			// Sector-aligned FULL logs remap their whole stored units
+			// onto the record's slot. Everything else (conventional
+			// logs, merged partials) lands on the FTL's read-merge-
+			// write path; the length is still rounded to whole units
+			// because a record owns its entire unit-aligned slot — the
+			// old destination content never needs preserving.
+			var n int64
+			if c.aligned && e.typ == LogFull {
+				n = int64(e.stored)
+			} else {
+				n = roundUp(int64(e.payload), unit)
+			}
+			reqs[k] = ssd.RemapEntry{Src: e.off, Dst: e.targetOff, Len: n, Old: e.old}
+		}
+		p.Sleep(en.cfg.HostIOOverhead)
+		res, fut := en.dev.CheckpointRequest(reqs)
+		fut.OnComplete(func() {
+			en.remapTotals.Remapped += res.Remapped
+			en.remapTotals.RMWs += res.RMWs
+			en.remapTotals.Skipped += res.Skipped
+		})
+		// keep at most two checkpoint commands in flight (see multiCoW)
+		if prev != nil {
+			p.Wait(prev)
+		}
+		prev = fut
+	}
+	if prev != nil {
+		p.Wait(prev)
+	}
+	// durability barrier: any read-merge-write residue must hit flash
+	p.Wait(en.dev.Flush(ssd.AreaCheckpoint))
+}

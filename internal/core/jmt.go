@@ -1,0 +1,98 @@
+package core
+
+// LogType classifies a journal log's stored format (Algorithm 2).
+type LogType uint8
+
+// Log format types.
+const (
+	// LogFull occupies whole mapping units and can be checkpointed by a
+	// pure remap.
+	LogFull LogType = iota
+	// LogPartial is smaller than a mapping unit after size-class padding;
+	// it is packed with other partial logs into a shared unit.
+	LogPartial
+	// LogMerged is a partial log that has been packed into a shared unit.
+	LogMerged
+)
+
+// String names the log type.
+func (t LogType) String() string {
+	switch t {
+	case LogFull:
+		return "FULL"
+	case LogPartial:
+		return "PARTIAL"
+	case LogMerged:
+		return "MERGED"
+	default:
+		return "?"
+	}
+}
+
+// jmtEntry is one record of the journal mapping table: the mapping between
+// a target (data-area) location and the journal location of its newest
+// uncheckpointed version. Entries are append-only (write-ahead-log method);
+// a newer update for the same key flips the previous entry's Old flag
+// rather than modifying it (Figure 2(b), Algorithm 1's NEW/OLD flags).
+type jmtEntry struct {
+	key     int64
+	version int64
+
+	// journal placement, assigned when the log is laid out at commit
+	off     int64 // absolute journal offset of the stored payload
+	stored  int   // bytes occupied in the journal (after padding/merging)
+	payload int   // raw value bytes
+	typ     LogType
+
+	// target placement in the data area
+	targetOff int64
+	targetLen int
+
+	old       bool // superseded by a newer entry for the same key
+	committed bool // the log has been durably written
+}
+
+// JMT is the journal mapping table for one journal half: an append-only
+// entry log plus a latest-version index.
+type JMT struct {
+	entries []*jmtEntry
+	latest  map[int64]*jmtEntry
+	live    int // entries with old == false
+}
+
+// NewJMT returns an empty table.
+func NewJMT() *JMT {
+	return &JMT{latest: make(map[int64]*jmtEntry)}
+}
+
+// Add appends a new entry, marking any previous entry for the same key OLD.
+func (t *JMT) Add(e *jmtEntry) {
+	if prev, ok := t.latest[e.key]; ok {
+		prev.old = true
+		t.live--
+	}
+	t.entries = append(t.entries, e)
+	t.latest[e.key] = e
+	t.live++
+}
+
+// Latest returns the newest entry for key, or nil.
+func (t *JMT) Latest(key int64) *jmtEntry { return t.latest[key] }
+
+// Entries returns the full append log (including OLD entries).
+func (t *JMT) Entries() []*jmtEntry { return t.entries }
+
+// Len returns the total number of entries (including OLD).
+func (t *JMT) Len() int { return len(t.entries) }
+
+// Live returns the number of latest-version entries.
+func (t *JMT) Live() int { return t.live }
+
+// LiveRatio returns live/total — the fraction the paper relates to the
+// uniform-vs-Zipfian checkpointing cost difference.
+func (t *JMT) LiveRatio() float64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return float64(t.live) / float64(len(t.entries))
+}

@@ -1,0 +1,45 @@
+package core
+
+import "container/list"
+
+// keyLRU is a bounded LRU set of record keys — the engine's host block
+// cache (memtable) model. Only membership matters; values are not modeled.
+type keyLRU struct {
+	capacity int
+	ll       *list.List
+	index    map[int64]*list.Element
+}
+
+func newKeyLRU(capacity int) *keyLRU {
+	return &keyLRU{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[int64]*list.Element, capacity),
+	}
+}
+
+// touch reports whether key is cached, refreshing its recency.
+func (c *keyLRU) touch(key int64) bool {
+	el, ok := c.index[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// insert adds (or refreshes) key, evicting the coldest entry when full.
+func (c *keyLRU) insert(key int64) {
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(key)
+	if c.ll.Len() > c.capacity {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.index, old.Value.(int64))
+	}
+}
+
+// len returns the resident entry count.
+func (c *keyLRU) len() int { return c.ll.Len() }

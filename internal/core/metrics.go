@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/nand"
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/ssd"
+	"github.com/checkin-kv/checkin/internal/stats"
+	"github.com/checkin-kv/checkin/internal/workload"
+)
+
+// Metrics collects everything one measured run produces: per-query latency
+// histograms split by kind and by checkpoint overlap, checkpoint durations,
+// and before/after snapshots of device, FTL and flash counters so that all
+// amplification numbers cover exactly the measured window.
+type Metrics struct {
+	Elapsed sim.VTime
+
+	Queries      uint64
+	ReadQueries  uint64
+	WriteQueries uint64
+	// WriteQueryPayload is the raw bytes write queries asked to store —
+	// the denominator of the paper's amplification figures.
+	WriteQueryPayload uint64
+
+	ReadLat      stats.Histogram
+	WriteLat     stats.Histogram
+	ReadLatCkpt  stats.Histogram // reads overlapping a checkpoint
+	WriteLatCkpt stats.Histogram
+	AllLat       stats.Histogram
+
+	CkptDurations []sim.VTime
+	LiveRatios    []float64
+
+	// HostCacheHits counts reads served from the host block cache.
+	HostCacheHits uint64
+
+	// Timeline holds periodic samples when RunSpec.SampleInterval is set.
+	Timeline *stats.Timeline
+
+	startDev  ssd.Stats
+	startFtl  ftl.Stats
+	startNand nand.Stats
+	startTime sim.VTime
+
+	EndDev  ssd.Stats
+	EndFtl  ftl.Stats
+	EndNand nand.Stats
+
+	JournalStart JournalStats
+	JournalEnd   JournalStats
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) start(en *Engine) {
+	m.startDev = en.dev.Stats()
+	m.startFtl = en.dev.FTL().Stats()
+	m.startNand = en.dev.FTL().Array().Stats()
+	m.JournalStart = en.jr.Stats()
+	m.startTime = en.eng.Now()
+}
+
+func (m *Metrics) finish(en *Engine, endTime sim.VTime) {
+	m.EndDev = en.dev.Stats()
+	m.EndFtl = en.dev.FTL().Stats()
+	m.EndNand = en.dev.FTL().Array().Stats()
+	m.JournalEnd = en.jr.Stats()
+	if endTime > m.startTime {
+		m.Elapsed = endTime - m.startTime
+	}
+}
+
+func (m *Metrics) noteQuery(op workload.Op, lat sim.VTime, duringCkpt bool) {
+	m.Queries++
+	m.AllLat.Record(uint64(lat))
+	isWrite := op.Kind != workload.OpRead && op.Kind != workload.OpScan
+	if isWrite {
+		m.WriteQueries++
+		m.WriteQueryPayload += uint64(op.Size)
+		m.WriteLat.Record(uint64(lat))
+		if duringCkpt {
+			m.WriteLatCkpt.Record(uint64(lat))
+		}
+	} else {
+		m.ReadQueries++
+		m.ReadLat.Record(uint64(lat))
+		if duringCkpt {
+			m.ReadLatCkpt.Record(uint64(lat))
+		}
+	}
+}
+
+func (m *Metrics) noteCheckpoint(d sim.VTime) {
+	m.CkptDurations = append(m.CkptDurations, d)
+}
+
+func (m *Metrics) noteLiveRatio(r float64) {
+	m.LiveRatios = append(m.LiveRatios, r)
+}
+
+// Checkpoints returns the number of completed checkpoints.
+func (m *Metrics) Checkpoints() int { return len(m.CkptDurations) }
+
+// MeanCheckpointTime returns the average checkpoint duration.
+func (m *Metrics) MeanCheckpointTime() sim.VTime {
+	if len(m.CkptDurations) == 0 {
+		return 0
+	}
+	var sum sim.VTime
+	for _, d := range m.CkptDurations {
+		sum += d
+	}
+	return sum / sim.VTime(len(m.CkptDurations))
+}
+
+// MeanLiveRatio returns the average latest/total JMT ratio at checkpoints.
+func (m *Metrics) MeanLiveRatio() float64 {
+	if len(m.LiveRatios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range m.LiveRatios {
+		sum += r
+	}
+	return sum / float64(len(m.LiveRatios))
+}
+
+// ThroughputQPS returns queries per simulated second.
+func (m *Metrics) ThroughputQPS() float64 {
+	if m.Elapsed == 0 {
+		return 0
+	}
+	return float64(m.Queries) / m.Elapsed.Seconds()
+}
+
+// MeanLatency returns the mean query latency.
+func (m *Metrics) MeanLatency() sim.VTime { return sim.VTime(m.AllLat.Mean()) }
+
+// Device/FTL/flash deltas over the measured window.
+
+// HostWriteBytes returns host-link write traffic during the run.
+func (m *Metrics) HostWriteBytes() uint64 { return m.EndDev.HostWriteBytes - m.startDev.HostWriteBytes }
+
+// HostReadBytes returns host-link read traffic during the run.
+func (m *Metrics) HostReadBytes() uint64 { return m.EndDev.HostReadBytes - m.startDev.HostReadBytes }
+
+// FlashPrograms returns flash program operations during the run.
+func (m *Metrics) FlashPrograms() uint64 { return m.EndNand.Programs - m.startNand.Programs }
+
+// FlashReads returns flash read operations during the run.
+func (m *Metrics) FlashReads() uint64 { return m.EndNand.Reads - m.startNand.Reads }
+
+// FlashErases returns block erases during the run.
+func (m *Metrics) FlashErases() uint64 { return m.EndNand.Erases - m.startNand.Erases }
+
+// FlashProgramBytes returns bytes programmed during the run.
+func (m *Metrics) FlashProgramBytes() uint64 {
+	return m.EndNand.BytesProgrammed - m.startNand.BytesProgrammed
+}
+
+// FlashReadBytes returns bytes read from flash during the run.
+func (m *Metrics) FlashReadBytes() uint64 { return m.EndNand.BytesRead - m.startNand.BytesRead }
+
+// GCCount returns migrating GC invocations during the run.
+func (m *Metrics) GCCount() uint64 { return m.EndFtl.GCInvocations - m.startFtl.GCInvocations }
+
+// Reclaims returns all block reclamations during the run (migrating GCs
+// plus trivially erased fully-invalid blocks). In steady state this tracks
+// blocks consumed by programs and is robust to when the collector happened
+// to run within the measured window.
+func (m *Metrics) Reclaims() uint64 {
+	return m.EndFtl.GCInvocations + m.EndFtl.DeadReclaims -
+		m.startFtl.GCInvocations - m.startFtl.DeadReclaims
+}
+
+// RedundantWrites returns checkpoint- and GC-induced duplicate programs,
+// the paper's Figure 8(a) metric.
+func (m *Metrics) RedundantWrites() uint64 {
+	return m.EndFtl.RedundantWrites() - m.startFtl.RedundantWrites()
+}
+
+// CheckpointPrograms returns programs caused directly by checkpointing.
+func (m *Metrics) CheckpointPrograms() uint64 {
+	return m.EndFtl.ProgramsByTag[ftl.TagCheckpoint] - m.startFtl.ProgramsByTag[ftl.TagCheckpoint]
+}
+
+// IOAmplification returns total host I/O bytes over write-query payload
+// bytes (Figure 3(a) "I/O requests").
+func (m *Metrics) IOAmplification() float64 {
+	if m.WriteQueryPayload == 0 {
+		return 0
+	}
+	return float64(m.HostWriteBytes()+m.HostReadBytes()) / float64(m.WriteQueryPayload)
+}
+
+// FlashAmplification returns flash traffic bytes over write-query payload
+// bytes (Figure 3(a) "flash operations").
+func (m *Metrics) FlashAmplification() float64 {
+	if m.WriteQueryPayload == 0 {
+		return 0
+	}
+	return float64(m.FlashProgramBytes()+m.FlashReadBytes()) / float64(m.WriteQueryPayload)
+}
+
+// JournalSpaceOverhead returns stored/payload for the run's journal window.
+func (m *Metrics) JournalSpaceOverhead() float64 {
+	d := JournalStats{
+		PayloadBytes: m.JournalEnd.PayloadBytes - m.JournalStart.PayloadBytes,
+		StoredBytes:  m.JournalEnd.StoredBytes - m.JournalStart.StoredBytes,
+	}
+	return d.SpaceOverhead()
+}
+
+// Summary renders a human-readable digest.
+func (m *Metrics) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed            %v\n", m.Elapsed)
+	fmt.Fprintf(&b, "queries            %d (%.0f qps)\n", m.Queries, m.ThroughputQPS())
+	fmt.Fprintf(&b, "mean latency       %v\n", m.MeanLatency())
+	fmt.Fprintf(&b, "read p99.9         %v\n", sim.VTime(m.ReadLat.Percentile(99.9)))
+	fmt.Fprintf(&b, "write p99.9        %v\n", sim.VTime(m.WriteLat.Percentile(99.9)))
+	fmt.Fprintf(&b, "checkpoints        %d (mean %v)\n", m.Checkpoints(), m.MeanCheckpointTime())
+	fmt.Fprintf(&b, "io amplification   %.2fx\n", m.IOAmplification())
+	fmt.Fprintf(&b, "flash amplification %.2fx\n", m.FlashAmplification())
+	fmt.Fprintf(&b, "redundant writes   %d\n", m.RedundantWrites())
+	fmt.Fprintf(&b, "gc invocations     %d\n", m.GCCount())
+	return b.String()
+}

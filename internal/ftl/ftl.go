@@ -1,0 +1,1115 @@
+// Package ftl implements the flash translation layer of the Check-In SSD:
+// sub-page (sector) mapping from logical addresses to physical flash slots,
+// log-structured write allocation with per-stream frontiers, read-modify-
+// write handling for writes that partially cover a mapping unit, shared
+// mappings with reference counts (the basis of checkpoint-by-remap),
+// greedy wear-aware garbage collection, and a mapping-metadata cost model
+// (map-cache misses and batched metadata flushes).
+//
+// Addresses on the FTL's logical interface are plain byte offsets; the
+// mapping granularity is Config.UnitSize bytes (512 B by default, matching
+// the paper's host sector size). One physical flash page holds
+// PageSize/UnitSize slots.
+package ftl
+
+import (
+	"fmt"
+
+	"github.com/checkin-kv/checkin/internal/nand"
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/trace"
+)
+
+// Tag classifies the origin of a flash write for the paper's accounting
+// (redundant writes, GC traffic, metadata traffic).
+type Tag uint8
+
+// Write-origin tags.
+const (
+	TagHostJournal Tag = iota // journal-area writes from the storage engine
+	TagHostData               // data-area writes from the storage engine
+	TagCheckpoint             // checkpoint-induced copies / merges inside the device
+	TagGC                     // garbage-collection migration
+	TagMeta                   // mapping-table metadata flushes
+	numTags
+)
+
+// String names the tag.
+func (t Tag) String() string {
+	switch t {
+	case TagHostJournal:
+		return "host-journal"
+	case TagHostData:
+		return "host-data"
+	case TagCheckpoint:
+		return "checkpoint"
+	case TagGC:
+		return "gc"
+	case TagMeta:
+		return "meta"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// Stream selects a write frontier. Separating streams keeps journal pages
+// (short-lived, trimmed at every checkpoint) away from data pages, which is
+// what makes journal blocks cheap to reclaim.
+type Stream uint8
+
+// Write streams.
+const (
+	StreamJournal Stream = iota
+	StreamData
+	StreamGC
+	StreamMeta
+	numStreams
+)
+
+// GCPolicy selects the garbage-collection victim policy.
+type GCPolicy uint8
+
+// Victim-selection policies.
+const (
+	// GCGreedy picks the closed block with the fewest valid slots —
+	// minimal migration per reclaimed block (the default, and what the
+	// paper's SimpleSSD substrate uses).
+	GCGreedy GCPolicy = iota
+	// GCCostBenefit weighs reclaimable space against migration cost and
+	// block age: (invalid/valid') * age, preferring older blocks whose
+	// remaining valid data is likely cold (Rosenblum's cleaning policy).
+	GCCostBenefit
+	// GCFIFO collects the oldest closed block regardless of validity —
+	// the simplest policy, included as a lower bound.
+	GCFIFO
+)
+
+// String names the policy.
+func (p GCPolicy) String() string {
+	switch p {
+	case GCGreedy:
+		return "greedy"
+	case GCCostBenefit:
+		return "cost-benefit"
+	case GCFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	// UnitSize is the mapping unit in bytes (512, 1024, 2048 or 4096 in
+	// the paper's sensitivity study). Must divide the flash page size.
+	UnitSize int
+
+	// OverProvision is the fraction of raw capacity reserved for GC
+	// headroom (0.12 ≈ a commodity 7% + parity-ish reserve).
+	OverProvision float64
+
+	// GCLowWater triggers foreground GC when free blocks drop below it;
+	// GC collects victims until GCHighWater free blocks are available.
+	GCLowWater  int
+	GCHighWater int
+
+	// Parallelism is the number of open blocks per stream; pages of a
+	// stream stripe across them (and hence across dies/channels).
+	Parallelism int
+
+	// MapCacheBytes is the device DRAM available for the mapping table.
+	// Lookups beyond the cached fraction cost a simulated map-page fetch.
+	MapCacheBytes int64
+
+	// MapMissPenalty is the latency of fetching a mapping page on a map
+	// cache miss.
+	MapMissPenalty sim.VTime
+
+	// MetaFlushEntries is the number of dirty mapping entries accumulated
+	// before a metadata page is flushed to flash. 0 derives it from the
+	// page size (one entry = 8 bytes).
+	MetaFlushEntries int
+
+	// DeferGC makes journal-area reclamation wait for background GC
+	// (Check-In's deallocator behaviour) instead of counting on the
+	// foreground path.
+	DeferGC bool
+
+	// WearDeltaThreshold enables static wear leveling: when the spread
+	// between the most- and least-erased blocks reaches this many P/E
+	// cycles, the coldest block is migrated so its cells rejoin the
+	// allocation pool. 0 disables static wear leveling.
+	WearDeltaThreshold uint32
+
+	// Tracer, when non-nil, receives GC and wear-leveling events.
+	Tracer *trace.Tracer
+
+	// GCPolicy selects the victim policy (default GCGreedy).
+	GCPolicy GCPolicy
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments unless a sweep overrides a field.
+func DefaultConfig() Config {
+	return Config{
+		UnitSize:       512,
+		OverProvision:  0.12,
+		GCLowWater:     4,
+		GCHighWater:    8,
+		Parallelism:    4,
+		MapCacheBytes:  32 << 20,
+		MapMissPenalty: 60 * sim.Microsecond,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate(pageSize int) error {
+	if c.UnitSize <= 0 || pageSize%c.UnitSize != 0 {
+		return fmt.Errorf("ftl: UnitSize %d must be positive and divide page size %d", c.UnitSize, pageSize)
+	}
+	if c.OverProvision < 0 || c.OverProvision >= 1 {
+		return fmt.Errorf("ftl: OverProvision %v out of [0,1)", c.OverProvision)
+	}
+	if c.GCLowWater < 1 || c.GCHighWater <= c.GCLowWater {
+		return fmt.Errorf("ftl: GC watermarks low=%d high=%d invalid", c.GCLowWater, c.GCHighWater)
+	}
+	if c.Parallelism < 1 {
+		return fmt.Errorf("ftl: Parallelism %d must be >= 1", c.Parallelism)
+	}
+	return nil
+}
+
+// Stats aggregates FTL-level counters. Flash op totals live in nand.Stats;
+// these split them by cause.
+type Stats struct {
+	ProgramsByTag [numTags]uint64
+	ReadsByTag    [numTags]uint64
+
+	// Remaps counts mapping units checkpointed by pure map update;
+	// RemapRMWs counts units that needed read-merge-write because the
+	// source bytes were not aligned to the mapping unit.
+	Remaps    uint64
+	RemapRMWs uint64
+
+	// HostRMWReads counts extra reads caused by writes partially covering
+	// a mapped unit.
+	HostRMWReads uint64
+
+	// GCInvocations counts garbage collections that migrated live data;
+	// DeadReclaims counts trivially reclaimed fully-invalid blocks (e.g.
+	// journal blocks after a checkpoint trim), which cost one erase and
+	// no data movement.
+	GCInvocations  uint64
+	DeadReclaims   uint64
+	GCMigratedSlot uint64
+
+	// DeadPaddingSlots counts slots thrown away when a partially filled
+	// page had to be programmed at a sync point.
+	DeadPaddingSlots uint64
+
+	MapMisses   uint64
+	MetaFlushes uint64
+
+	TrimmedUnits uint64
+
+	// WearLevelMoves counts static wear-leveling migrations.
+	WearLevelMoves uint64
+}
+
+// RedundantWrites returns the paper's "duplicate writes" metric: programs
+// whose payload already existed on flash (checkpoint copies/merges plus GC
+// migration rewrites).
+func (s Stats) RedundantWrites() uint64 {
+	return s.ProgramsByTag[TagCheckpoint] + s.ProgramsByTag[TagGC]
+}
+
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockOpen
+	blockClosed
+)
+
+type frontier struct {
+	block    int // -1 when no block is open
+	fillLSNs []int64
+	fillTag  Tag // origin of the currently buffered slots
+}
+
+// FTL is the flash translation layer instance.
+type FTL struct {
+	cfg   Config
+	eng   *sim.Engine
+	array *nand.Array
+
+	unit         int
+	slotsPerPage int
+	pagesPerBlk  int
+	totalBlocks  int
+
+	logicalBytes int64
+	totalUnits   int64
+
+	// map: logical unit number → physical slot id (-1 unmapped)
+	l2p []int64
+	// per-slot reference count (shared mappings after remap)
+	refcnt []uint8
+	// primary reverse mapping slot → logical unit (-1 free/dead)
+	rev []int64
+	// extra reverse mappings for slots with refcnt > 1 (transient between
+	// checkpoint remap and journal trim)
+	revOverflow map[int64][]int64
+
+	state      []blockState
+	validCount []int32
+	written    []int32 // slots consumed in each block (valid + invalid + dead)
+	closedSeq  []int64 // logical close time (monotonic counter; age input)
+	closeClock int64
+
+	freeByDie [][]int
+	freeCount int
+
+	fronts [numStreams][]frontier
+	rr     [numStreams]int
+	// outstanding program futures per stream: Sync waits for all of them
+	// (staged-write semantics: host writes complete at the DRAM buffer;
+	// Flush provides durability)
+	outstanding [numStreams][]*sim.Future
+
+	// map-metadata cost model
+	dirtyMapEntries int
+	metaFlushAt     int
+	mapMissAccum    float64
+	mapEngine       sim.FIFOResource
+
+	gcDepth int // re-entrancy guard: GC's own writes must not trigger GC
+
+	// rlog is the persistent recovery state (OOB records, remap aliases,
+	// trim extents) backing SimulateSPOR.
+	rlog *recoveryLog
+
+	stats Stats
+}
+
+// New builds an FTL over the given array.
+func New(eng *sim.Engine, array *nand.Array, cfg Config) (*FTL, error) {
+	geo := array.Geometry()
+	if err := cfg.Validate(geo.PageSize); err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		cfg:          cfg,
+		eng:          eng,
+		array:        array,
+		unit:         cfg.UnitSize,
+		slotsPerPage: geo.PageSize / cfg.UnitSize,
+		pagesPerBlk:  geo.PagesPerBlock,
+		totalBlocks:  geo.TotalBlocks(),
+		revOverflow:  make(map[int64][]int64),
+	}
+	physBytes := geo.TotalBytes()
+	f.logicalBytes = int64(float64(physBytes) / (1 + cfg.OverProvision))
+	f.logicalBytes -= f.logicalBytes % int64(f.unit)
+	f.totalUnits = f.logicalBytes / int64(f.unit)
+
+	totalSlots := int64(geo.TotalPages()) * int64(f.slotsPerPage)
+	f.l2p = make([]int64, f.totalUnits)
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	f.refcnt = make([]uint8, totalSlots)
+	f.rev = make([]int64, totalSlots)
+	for i := range f.rev {
+		f.rev[i] = -1
+	}
+	f.state = make([]blockState, f.totalBlocks)
+	f.validCount = make([]int32, f.totalBlocks)
+	f.written = make([]int32, f.totalBlocks)
+	f.closedSeq = make([]int64, f.totalBlocks)
+
+	dies := geo.TotalDies()
+	f.freeByDie = make([][]int, dies)
+	for b := f.totalBlocks - 1; b >= 0; b-- {
+		d := geo.DieOfBlock(b)
+		f.freeByDie[d] = append(f.freeByDie[d], b)
+	}
+	f.freeCount = f.totalBlocks
+
+	par := cfg.Parallelism
+	if par > dies {
+		par = dies
+	}
+	for s := Stream(0); s < numStreams; s++ {
+		f.fronts[s] = make([]frontier, par)
+		for i := range f.fronts[s] {
+			f.fronts[s][i].block = -1
+		}
+	}
+
+	f.metaFlushAt = cfg.MetaFlushEntries
+	if f.metaFlushAt == 0 {
+		f.metaFlushAt = geo.PageSize / 8
+	}
+	f.rlog = newRecoveryLog(totalSlots)
+	return f, nil
+}
+
+// LogicalBytes returns the exported logical capacity.
+func (f *FTL) LogicalBytes() int64 { return f.logicalBytes }
+
+// UnitSize returns the mapping unit in bytes.
+func (f *FTL) UnitSize() int { return f.unit }
+
+// Stats returns a snapshot of the FTL counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Array returns the underlying flash array (for device-level reporting).
+func (f *FTL) Array() *nand.Array { return f.array }
+
+// FreeBlocks returns the number of erased blocks available for allocation.
+func (f *FTL) FreeBlocks() int { return f.freeCount }
+
+// MappingTableBytes returns the in-device size of the full mapping table
+// (8 bytes per logical unit), the quantity the map cache model divides by.
+func (f *FTL) MappingTableBytes() int64 { return f.totalUnits * 8 }
+
+// ---------------------------------------------------------------------------
+// slot arithmetic
+
+func (f *FTL) slotID(block, page, slot int) int64 {
+	return (int64(block)*int64(f.pagesPerBlk)+int64(page))*int64(f.slotsPerPage) + int64(slot)
+}
+
+func (f *FTL) slotBlock(sid int64) int {
+	return int(sid / int64(f.slotsPerPage) / int64(f.pagesPerBlk))
+}
+
+func (f *FTL) slotPage(sid int64) int {
+	return int(sid / int64(f.slotsPerPage) % int64(f.pagesPerBlk))
+}
+
+// isBuffered reports whether the slot's page has not been programmed yet —
+// its payload still sits in the controller's page buffer (DRAM), so reading
+// it costs no flash operation.
+func (f *FTL) isBuffered(sid int64) bool {
+	return f.slotPage(sid) >= f.array.ProgrammedPages(f.slotBlock(sid))
+}
+
+func (f *FTL) checkRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > f.logicalBytes {
+		panic(fmt.Sprintf("ftl: access [%d,%d) outside logical space %d", off, off+n, f.logicalBytes))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// mapping maintenance
+
+// bindSlot points lun at sid (first reference).
+func (f *FTL) bindSlot(lun, sid int64) {
+	f.unmap(lun)
+	f.l2p[lun] = sid
+	f.refcnt[sid] = 1
+	f.rev[sid] = lun
+	f.validCount[f.slotBlock(sid)]++
+	f.noteMapDirty(1)
+}
+
+// shareSlot adds lun as an additional reference to sid (checkpoint remap).
+func (f *FTL) shareSlot(lun, sid int64) {
+	f.unmap(lun)
+	f.l2p[lun] = sid
+	if f.refcnt[sid] == 0 {
+		panic("ftl: sharing a dead slot")
+	}
+	if f.refcnt[sid] == ^uint8(0) {
+		// cannot happen in the checkpoint protocol (a slot is shared by
+		// at most journal+data references), but a silent wrap would
+		// corrupt validity accounting — fail loudly instead
+		panic("ftl: slot reference count overflow")
+	}
+	f.refcnt[sid]++
+	f.revOverflow[sid] = append(f.revOverflow[sid], lun)
+	f.rlog.noteAlias(sid, lun)
+	f.noteMapDirty(1)
+}
+
+// unmap drops lun's reference, invalidating its slot when the last
+// reference disappears.
+func (f *FTL) unmap(lun int64) {
+	sid := f.l2p[lun]
+	if sid < 0 {
+		return
+	}
+	f.l2p[lun] = -1
+	f.dropRef(sid, lun)
+	f.noteMapDirty(1)
+}
+
+func (f *FTL) dropRef(sid, lun int64) {
+	rc := f.refcnt[sid]
+	if rc == 0 {
+		panic("ftl: dropping reference on dead slot")
+	}
+	if rc == 1 {
+		f.refcnt[sid] = 0
+		f.rev[sid] = -1
+		delete(f.revOverflow, sid)
+		f.validCount[f.slotBlock(sid)]--
+		return
+	}
+	f.refcnt[sid] = rc - 1
+	if f.rev[sid] == lun {
+		// promote an overflow entry to primary
+		ov := f.revOverflow[sid]
+		f.rev[sid] = ov[len(ov)-1]
+		ov = ov[:len(ov)-1]
+		if len(ov) == 0 {
+			delete(f.revOverflow, sid)
+		} else {
+			f.revOverflow[sid] = ov
+		}
+		return
+	}
+	ov := f.revOverflow[sid]
+	for i, l := range ov {
+		if l == lun {
+			ov[i] = ov[len(ov)-1]
+			ov = ov[:len(ov)-1]
+			break
+		}
+	}
+	if len(ov) == 0 {
+		delete(f.revOverflow, sid)
+	} else {
+		f.revOverflow[sid] = ov
+	}
+}
+
+// lunsOf returns every logical unit referencing sid.
+func (f *FTL) lunsOf(sid int64) []int64 {
+	if f.refcnt[sid] == 0 {
+		return nil
+	}
+	out := []int64{f.rev[sid]}
+	out = append(out, f.revOverflow[sid]...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// map metadata model
+
+func (f *FTL) noteMapDirty(n int) {
+	f.dirtyMapEntries += n
+	for f.dirtyMapEntries >= f.metaFlushAt {
+		f.dirtyMapEntries -= f.metaFlushAt
+		f.stats.MetaFlushes++
+		f.programMetaPage()
+	}
+}
+
+// programMetaPage writes one page of mapping metadata. Metadata pages are
+// superseded immediately (the in-DRAM table stays authoritative), so the
+// slots are dead on arrival and the block is trivially reclaimable. Pages
+// rotate across the stream's frontiers so metadata bursts spread over dies.
+func (f *FTL) programMetaPage() {
+	idx := f.rr[StreamMeta] % len(f.fronts[StreamMeta])
+	f.rr[StreamMeta]++
+	fr, block := f.openFrontier(StreamMeta, idx)
+	f.written[block] += int32(f.slotsPerPage)
+	f.stats.DeadPaddingSlots += 0 // metadata pages are whole-page writes
+	f.array.ProgramPage(block, f.array.Geometry().PageSize)
+	f.stats.ProgramsByTag[TagMeta]++
+	f.advanceFrontier(fr, block)
+}
+
+// mapLookupCost models the map-cache: the fraction of the table that does
+// not fit in DRAM misses at lookup time; misses serialize on the map engine
+// and delay the operation by MapMissPenalty.
+func (f *FTL) mapLookupCost(lookups int) sim.VTime {
+	tableBytes := f.MappingTableBytes()
+	if tableBytes <= f.cfg.MapCacheBytes || f.cfg.MapMissPenalty == 0 {
+		return 0
+	}
+	missProb := 1 - float64(f.cfg.MapCacheBytes)/float64(tableBytes)
+	f.mapMissAccum += missProb * float64(lookups)
+	var delay sim.VTime
+	for f.mapMissAccum >= 1 {
+		f.mapMissAccum--
+		f.stats.MapMisses++
+		_, end := f.mapEngine.Reserve(f.eng.Now(), f.cfg.MapMissPenalty)
+		if end > f.eng.Now()+delay {
+			delay = end - f.eng.Now()
+		}
+	}
+	return delay
+}
+
+// ---------------------------------------------------------------------------
+// block allocation and frontiers
+
+func (f *FTL) allocBlock(preferDie int) int {
+	geo := f.array.Geometry()
+	dies := geo.TotalDies()
+	for i := 0; i < dies; i++ {
+		d := (preferDie + i) % dies
+		if n := len(f.freeByDie[d]); n > 0 {
+			b := f.freeByDie[d][n-1]
+			f.freeByDie[d] = f.freeByDie[d][:n-1]
+			f.freeCount--
+			f.state[b] = blockOpen
+			return b
+		}
+	}
+	panic("ftl: out of free blocks (GC watermarks misconfigured)")
+}
+
+func (f *FTL) releaseBlock(b int) {
+	f.state[b] = blockFree
+	f.validCount[b] = 0
+	f.written[b] = 0
+	d := f.array.Geometry().DieOfBlock(b)
+	f.freeByDie[d] = append(f.freeByDie[d], b)
+	f.freeCount++
+}
+
+// openFrontier returns frontier idx of stream s with an open block,
+// allocating one if necessary.
+func (f *FTL) openFrontier(s Stream, idx int) (*frontier, int) {
+	fr := &f.fronts[s][idx]
+	if fr.block < 0 {
+		dies := f.array.Geometry().TotalDies()
+		prefer := (int(s)*3 + idx*dies/len(f.fronts[s])) % dies
+		fr.block = f.allocBlock(prefer)
+	}
+	return fr, fr.block
+}
+
+// advanceFrontier closes the block if full and triggers GC as needed.
+func (f *FTL) advanceFrontier(fr *frontier, block int) {
+	if int(f.written[block]) >= f.pagesPerBlk*f.slotsPerPage {
+		f.state[block] = blockClosed
+		f.closeClock++
+		f.closedSeq[block] = f.closeClock
+		fr.block = -1
+	}
+	f.maybeForegroundGC()
+}
+
+// appendSlot places one mapping unit of payload into stream s and returns
+// the slot id. The payload is staged in the controller buffer; the page
+// programs when full (or at Sync), with the program future tracked in the
+// stream's outstanding set.
+func (f *FTL) appendSlot(s Stream, lun int64, tag Tag) int64 {
+	// Page-granular striping: finish the partially filled page if one
+	// exists; otherwise start a fresh page on the next frontier in
+	// round-robin order so consecutive pages land on different dies.
+	idx := -1
+	for i := range f.fronts[s] {
+		if len(f.fronts[s][i].fillLSNs) > 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = f.rr[s] % len(f.fronts[s])
+		f.rr[s]++
+	}
+	fr, block := f.openFrontier(s, idx)
+	page := f.array.ProgrammedPages(block)
+	slot := len(fr.fillLSNs)
+	sid := f.slotID(block, page, slot)
+	fr.fillLSNs = append(fr.fillLSNs, lun)
+	fr.fillTag = tag
+	f.written[block]++
+	f.rlog.noteWrite(sid, lun)
+
+	if len(fr.fillLSNs) == f.slotsPerPage {
+		f.programOpenPage(s, idx, tag)
+	}
+	return sid
+}
+
+// programOpenPage programs the (possibly partial) open page of frontier
+// idx, attributing it to the tag of the buffered slots (a flush should not
+// re-tag pages another path staged).
+func (f *FTL) programOpenPage(s Stream, idx int, tag Tag) {
+	fr := &f.fronts[s][idx]
+	if fr.block < 0 || len(fr.fillLSNs) == 0 {
+		return
+	}
+	tag = fr.fillTag
+	block := fr.block
+	fill := len(fr.fillLSNs)
+	dead := f.slotsPerPage - fill
+	if dead > 0 {
+		// unwritten slots of a partially programmed page are wasted
+		f.written[block] += int32(dead)
+		f.stats.DeadPaddingSlots += uint64(dead)
+	}
+	_, progF := f.array.ProgramPage(block, fill*f.unit)
+	f.stats.ProgramsByTag[tag]++
+	f.trackOutstanding(s, progF)
+	fr.fillLSNs = fr.fillLSNs[:0]
+	f.advanceFrontier(fr, block)
+}
+
+// trackOutstanding records an issued program so Sync can wait for it,
+// compacting completed entries as it goes.
+func (f *FTL) trackOutstanding(s Stream, progF *sim.Future) {
+	out := f.outstanding[s][:0]
+	for _, pf := range f.outstanding[s] {
+		if !pf.Done() {
+			out = append(out, pf)
+		}
+	}
+	f.outstanding[s] = append(out, progF)
+}
+
+// Sync forces every partially filled open page of stream s to program and
+// returns a future completing when every program issued on the stream so
+// far — full pages included — has finished: the durability barrier behind
+// the host FLUSH command.
+func (f *FTL) Sync(s Stream, tag Tag) *sim.Future {
+	for idx := range f.fronts[s] {
+		if len(f.fronts[s][idx].fillLSNs) > 0 {
+			f.programOpenPage(s, idx, tag)
+		}
+	}
+	pending := make([]*sim.Future, 0, len(f.outstanding[s]))
+	for _, pf := range f.outstanding[s] {
+		if !pf.Done() {
+			pending = append(pending, pf)
+		}
+	}
+	f.outstanding[s] = f.outstanding[s][:0]
+	if len(pending) == 0 {
+		return sim.CompletedFuture(f.eng)
+	}
+	return sim.AfterAll(f.eng, pending)
+}
+
+// ---------------------------------------------------------------------------
+// host operations
+
+// Write stores n bytes at logical offset off via stream s. Writes that
+// partially cover a previously mapped unit incur a read-modify-write. The
+// returned future completes when the data is staged (RMW reads done, slots
+// buffered); durability requires a subsequent Sync, as with a real device's
+// volatile write cache backed by power-loss capacitors.
+func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
+	f.checkRange(off, n)
+	if n == 0 {
+		return sim.CompletedFuture(f.eng)
+	}
+	first := off / int64(f.unit)
+	last := (off + n - 1) / int64(f.unit)
+	lookups := int(last - first + 1)
+	delay := f.mapLookupCost(lookups)
+
+	var futs []*sim.Future
+	for lun := first; lun <= last; lun++ {
+		unitStart := lun * int64(f.unit)
+		unitEnd := unitStart + int64(f.unit)
+		covStart, covEnd := off, off+n
+		full := covStart <= unitStart && covEnd >= unitEnd
+		if old := f.l2p[lun]; !full && old >= 0 && !f.isBuffered(old) {
+			// partial overwrite of live data: read-modify-write
+			f.stats.HostRMWReads++
+			f.stats.ReadsByTag[tag]++
+			futs = append(futs, f.array.ReadPage(f.slotBlock(old), f.slotPage(old), f.unit))
+		}
+		sid := f.appendSlot(s, lun, tag)
+		f.bindSlot(lun, sid)
+	}
+	all := sim.AfterAll(f.eng, futs)
+	return delayedFuture(f.eng, all, delay)
+}
+
+// Read fetches n bytes at logical offset off. Reads of unmapped space
+// complete immediately (zero-fill). Slot reads sharing a physical page are
+// coalesced into one flash read.
+func (f *FTL) Read(off, n int64) *sim.Future {
+	f.checkRange(off, n)
+	if n == 0 {
+		return sim.CompletedFuture(f.eng)
+	}
+	first := off / int64(f.unit)
+	last := (off + n - 1) / int64(f.unit)
+	delay := f.mapLookupCost(int(last - first + 1))
+
+	// group mapped units by physical page
+	type pageKey struct{ block, page int }
+	pages := make(map[pageKey]int) // → units on that page
+	order := make([]pageKey, 0, 4)
+	for lun := first; lun <= last; lun++ {
+		sid := f.l2p[lun]
+		if sid < 0 || f.isBuffered(sid) {
+			continue // unmapped (zero-fill) or still in the page buffer
+		}
+		k := pageKey{f.slotBlock(sid), f.slotPage(sid)}
+		if _, seen := pages[k]; !seen {
+			order = append(order, k)
+		}
+		pages[k]++
+	}
+	var futs []*sim.Future
+	for _, k := range order {
+		f.stats.ReadsByTag[TagHostData]++
+		futs = append(futs, f.array.ReadPage(k.block, k.page, pages[k]*f.unit))
+	}
+	all := sim.AfterAll(f.eng, futs)
+	return delayedFuture(f.eng, all, delay)
+}
+
+// Trim unmaps [off, off+n), releasing references (journal deletion after a
+// checkpoint). Alignment is required: the storage engine trims whole areas.
+func (f *FTL) Trim(off, n int64) {
+	f.checkRange(off, n)
+	if off%int64(f.unit) != 0 {
+		panic("ftl: unaligned trim")
+	}
+	first := off / int64(f.unit)
+	last := (off + n - 1) / int64(f.unit)
+	for lun := first; lun <= last; lun++ {
+		if f.l2p[lun] >= 0 {
+			f.trimUnmap(lun)
+			f.stats.TrimmedUnits++
+		}
+	}
+	// A trim persists as one extent record, not one map entry per unit.
+	f.rlog.noteTrim(first, last)
+	f.noteMapDirty(1)
+	f.maybeForegroundGC()
+}
+
+// trimUnmap is unmap without per-unit metadata accounting (Trim records a
+// single extent instead).
+func (f *FTL) trimUnmap(lun int64) {
+	sid := f.l2p[lun]
+	if sid < 0 {
+		return
+	}
+	f.l2p[lun] = -1
+	f.dropRef(sid, lun)
+}
+
+// RemapResult reports what a Remap did.
+type RemapResult struct {
+	Remapped int // units checkpointed by pure mapping update
+	RMWs     int // units that needed read-merge-write
+	Skipped  int // units whose source was unmapped
+}
+
+// Remap makes [dst, dst+n) reference the same physical slots as
+// [src, src+n): the FTL's copy-on-write checkpoint primitive (Algorithm 1).
+// dst must be unit-aligned (it addresses records in the data area). When the
+// source range for a destination unit is not unit-aligned — unaligned
+// journal logs under ISC-C — the unit is materialized by read-merge-write
+// instead, which is exactly the inefficiency sector-aligned journaling
+// removes. The returned future completes when any RMW flash work finishes.
+func (f *FTL) Remap(src, dst, n int64) (RemapResult, *sim.Future) {
+	return f.RemapCached(src, dst, n, false)
+}
+
+// RemapCached is Remap with an optional fast path for the read-merge-write
+// case: when srcInBuffer is true the source bytes are resident in
+// controller DRAM (the paper buffers small merged data in in-storage
+// memory), so merging needs no source flash reads.
+func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *sim.Future) {
+	f.checkRange(src, n)
+	f.checkRange(dst, n)
+	if dst%int64(f.unit) != 0 {
+		panic("ftl: Remap destination must be unit-aligned")
+	}
+	var res RemapResult
+	var futs []*sim.Future
+	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
+
+	for rel := int64(0); rel < n; rel += int64(f.unit) {
+		dstLun := (dst + rel) / int64(f.unit)
+		srcOff := src + rel
+		span := n - rel
+		if span > int64(f.unit) {
+			span = int64(f.unit)
+		}
+		aligned := srcOff%int64(f.unit) == 0 && span == int64(f.unit)
+		if aligned {
+			srcLun := srcOff / int64(f.unit)
+			sid := f.l2p[srcLun]
+			if sid < 0 {
+				res.Skipped++
+				continue
+			}
+			f.shareSlot(dstLun, sid)
+			f.stats.Remaps++
+			res.Remapped++
+			continue
+		}
+		// Unaligned source (or short tail): read the covering source
+		// slots and the old destination slot, merge, and program.
+		res.RMWs++
+		f.stats.RemapRMWs++
+		sFirst := srcOff / int64(f.unit)
+		sLast := (srcOff + span - 1) / int64(f.unit)
+		for l := sFirst; l <= sLast && !srcInBuffer; l++ {
+			if sid := f.l2p[l]; sid >= 0 && !f.isBuffered(sid) {
+				f.stats.ReadsByTag[TagCheckpoint]++
+				futs = append(futs, f.array.ReadPage(f.slotBlock(sid), f.slotPage(sid), f.unit))
+			}
+		}
+		if span < int64(f.unit) {
+			if old := f.l2p[dstLun]; old >= 0 && !f.isBuffered(old) {
+				f.stats.ReadsByTag[TagCheckpoint]++
+				futs = append(futs, f.array.ReadPage(f.slotBlock(old), f.slotPage(old), f.unit))
+			}
+		}
+		sid := f.appendSlot(StreamData, dstLun, TagCheckpoint)
+		f.bindSlot(dstLun, sid)
+	}
+	// RMW slots batch into pages across Remap calls; the caller syncs the
+	// data stream once per checkpoint command for durability.
+	all := sim.AfterAll(f.eng, futs)
+	return res, delayedFuture(f.eng, all, delay)
+}
+
+// Copy physically copies [src, src+n) to [dst, dst+n) inside the device
+// (the ISC-A / ISC-B CoW command service): reads the source slots, then
+// programs the destination through the data stream. The future completes
+// when the destination is durable.
+func (f *FTL) Copy(src, dst, n int64, tag Tag) *sim.Future {
+	return f.CopyCached(src, dst, n, tag, false)
+}
+
+// CopyCached is Copy with an optional fast path: when srcInBuffer is true
+// the source bytes are already resident in controller DRAM (data cache or
+// write buffer), so the flash read pass is skipped — the ISCE reads through
+// the same DRAM cache the host path uses.
+func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Future {
+	f.checkRange(src, n)
+	f.checkRange(dst, n)
+	if n == 0 {
+		return sim.CompletedFuture(f.eng)
+	}
+	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
+
+	// consecutive reads ...
+	sFirst := src / int64(f.unit)
+	sLast := (src + n - 1) / int64(f.unit)
+	type pageKey struct{ block, page int }
+	seen := make(map[pageKey]bool)
+	var futs []*sim.Future
+	for l := sFirst; l <= sLast && !srcInBuffer; l++ {
+		if sid := f.l2p[l]; sid >= 0 && !f.isBuffered(sid) {
+			k := pageKey{f.slotBlock(sid), f.slotPage(sid)}
+			if !seen[k] {
+				seen[k] = true
+				f.stats.ReadsByTag[tag]++
+				futs = append(futs, f.array.ReadPage(k.block, k.page, f.unit*f.slotsPerPage))
+			}
+		}
+	}
+	// ... then consecutive writes (with RMW for a partial destination
+	// tail). As with Remap, the caller syncs the data stream once per
+	// command so copies batch into full pages.
+	futs = append(futs, f.Write(dst, n, tag, StreamData))
+	all := sim.AfterAll(f.eng, futs)
+	return delayedFuture(f.eng, all, delay)
+}
+
+// delayedFuture completes after both f completes and an extra fixed delay.
+func delayedFuture(e *sim.Engine, f *sim.Future, delay sim.VTime) *sim.Future {
+	if delay == 0 {
+		return f
+	}
+	out := sim.NewFuture(e)
+	f.OnComplete(func() { e.Schedule(delay, out.Complete) })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// garbage collection
+
+func (f *FTL) maybeForegroundGC() {
+	if f.gcDepth > 0 {
+		return
+	}
+	low := f.cfg.GCLowWater
+	if f.cfg.DeferGC {
+		// Check-In defers reclamation to idle windows; keep a smaller
+		// emergency reserve for the foreground path.
+		low = max(2, low/2)
+	}
+	if f.freeCount >= low {
+		return
+	}
+	f.gcDepth++
+	for f.freeCount < f.cfg.GCHighWater {
+		if !f.collectVictim() {
+			break
+		}
+	}
+	f.gcDepth--
+}
+
+// BackgroundGC reclaims up to maxVictims blocks if reclaimable space exists;
+// the SSD's deallocator calls this from idle windows. Returns the number of
+// blocks collected.
+func (f *FTL) BackgroundGC(maxVictims int) int {
+	// only collect cheap victims in the background: blocks that are
+	// mostly invalid (journal blocks after a trim)
+	return f.backgroundCollect(maxVictims, f.pagesPerBlk*f.slotsPerPage/4)
+}
+
+// BackgroundGCForce reclaims up to maxVictims blocks taking the best victim
+// available regardless of its valid count — the deallocator's pressure
+// path, paced in small batches so host I/O interleaves between victims.
+func (f *FTL) BackgroundGCForce(maxVictims int) int {
+	return f.backgroundCollect(maxVictims, 1<<30)
+}
+
+func (f *FTL) backgroundCollect(maxVictims, maxValid int) int {
+	f.gcDepth++
+	defer func() { f.gcDepth-- }()
+	collected := 0
+	for collected < maxVictims {
+		v := f.pickVictim(maxValid)
+		if v < 0 {
+			break
+		}
+		f.collectBlock(v)
+		collected++
+	}
+	return collected
+}
+
+// LowSpace reports whether free blocks dropped below the comfort threshold
+// where background reclamation should run even without an idle window. The
+// cushion is deliberately modest: demanding a large free pool would force
+// collection of mostly-valid victims and thrash.
+func (f *FTL) LowSpace() bool {
+	cushion := f.totalBlocks / 16
+	if min := 2 * f.cfg.GCHighWater; cushion < min {
+		cushion = min
+	}
+	return f.freeCount < cushion
+}
+
+// collectVictim selects and collects the best victim; reports success.
+func (f *FTL) collectVictim() bool {
+	v := f.pickVictim(1 << 30)
+	if v < 0 {
+		return false
+	}
+	f.collectBlock(v)
+	return true
+}
+
+// pickVictim returns the best closed victim under the configured policy,
+// or -1 if no closed block has fewer than maxValid valid slots. Fully
+// invalid blocks always win regardless of policy (free space at zero
+// migration cost).
+func (f *FTL) pickVictim(maxValid int) int {
+	best := -1
+	bestValid := int32(maxValid)
+	var bestWear uint32
+	var bestScore float64
+	var bestSeq int64
+	slotsPerBlock := int32(f.pagesPerBlk * f.slotsPerPage)
+	for b := 0; b < f.totalBlocks; b++ {
+		if f.state[b] != blockClosed {
+			continue
+		}
+		v := f.validCount[b]
+		if v >= int32(maxValid) {
+			continue
+		}
+		switch f.cfg.GCPolicy {
+		case GCCostBenefit:
+			if v == 0 { // free space at zero cost always wins
+				return b
+			}
+			age := float64(f.closeClock - f.closedSeq[b] + 1)
+			score := float64(slotsPerBlock-v) / float64(2*v) * age
+			if best < 0 || score > bestScore {
+				best, bestScore = b, score
+			}
+		case GCFIFO:
+			if v == 0 {
+				return b
+			}
+			if best < 0 || f.closedSeq[b] < bestSeq {
+				best, bestSeq = b, f.closedSeq[b]
+			}
+		default: // GCGreedy
+			w := f.array.EraseCount(b)
+			if best < 0 || v < bestValid || (v == bestValid && w < bestWear) {
+				best, bestValid, bestWear = b, v, w
+			}
+		}
+	}
+	return best
+}
+
+// collectBlock migrates the valid slots of block b and erases it.
+func (f *FTL) collectBlock(b int) {
+	if f.validCount[b] > 0 {
+		f.stats.GCInvocations++
+	} else {
+		f.stats.DeadReclaims++
+	}
+	f.cfg.Tracer.Emit(f.eng.Now(), trace.KindGCVictim, int64(b),
+		fmt.Sprintf("valid=%d", f.validCount[b]))
+	slotsPerBlock := f.pagesPerBlk * f.slotsPerPage
+	base := f.slotID(b, 0, 0)
+
+	// read pass: one flash read per page holding any valid slot
+	lastPage := -1
+	for s := 0; s < slotsPerBlock; s++ {
+		sid := base + int64(s)
+		if f.refcnt[sid] == 0 {
+			continue
+		}
+		if p := f.slotPage(sid); p != lastPage {
+			lastPage = p
+			f.stats.ReadsByTag[TagGC]++
+			f.array.ReadPage(b, p, f.array.Geometry().PageSize)
+		}
+	}
+	// migrate pass: rewrite valid slots through the GC stream, moving
+	// every logical reference (shared slots keep their sharing)
+	for s := 0; s < slotsPerBlock; s++ {
+		sid := base + int64(s)
+		if f.refcnt[sid] == 0 {
+			continue
+		}
+		luns := f.lunsOf(sid)
+		// detach the old slot entirely before rebinding
+		for _, lun := range luns {
+			f.l2p[lun] = -1
+			f.noteMapDirty(1)
+		}
+		f.refcnt[sid] = 0
+		f.rev[sid] = -1
+		delete(f.revOverflow, sid)
+		f.validCount[b]--
+
+		newSid := f.appendSlot(StreamGC, luns[0], TagGC)
+		f.stats.GCMigratedSlot++
+		f.bindSlot(luns[0], newSid)
+		for _, lun := range luns[1:] {
+			f.shareSlot(lun, newSid)
+		}
+	}
+	// flush the GC stream's partial pages so the block is safe to erase
+	f.Sync(StreamGC, TagGC)
+	f.validCount[b] = 0
+	f.rlog.noteErase(base, int64(slotsPerBlock))
+	f.array.EraseBlock(b)
+	f.releaseBlock(b)
+}
+
+// HasReclaimable reports whether background GC would find a cheap victim.
+func (f *FTL) HasReclaimable() bool {
+	return f.pickVictim(f.pagesPerBlk*f.slotsPerPage/4) >= 0
+}

@@ -1,0 +1,83 @@
+package ftl
+
+import "github.com/checkin-kv/checkin/internal/trace"
+
+// Static wear leveling: the greedy GC victim policy naturally recycles
+// blocks holding hot data, so blocks pinned under cold valid data fall
+// behind in erase count and the wear spread grows unboundedly. The
+// wear-leveler closes that gap by occasionally migrating the coldest
+// (least-erased, still mostly valid) block so its cells rejoin the
+// allocation pool.
+
+// WearStats summarizes the erase-count distribution across blocks.
+type WearStats struct {
+	MinErase  uint32
+	MaxErase  uint32
+	MeanErase float64
+	// Spread is Max - Min, the quantity static wear leveling bounds.
+	Spread uint32
+	// Moves is the number of wear-leveling migrations performed.
+	Moves uint64
+}
+
+// WearStats computes the current wear distribution.
+func (f *FTL) WearStats() WearStats {
+	ws := WearStats{Moves: f.stats.WearLevelMoves}
+	var sum uint64
+	first := true
+	for b := 0; b < f.totalBlocks; b++ {
+		ec := f.array.EraseCount(b)
+		sum += uint64(ec)
+		if first {
+			ws.MinErase, ws.MaxErase = ec, ec
+			first = false
+			continue
+		}
+		if ec < ws.MinErase {
+			ws.MinErase = ec
+		}
+		if ec > ws.MaxErase {
+			ws.MaxErase = ec
+		}
+	}
+	ws.MeanErase = float64(sum) / float64(f.totalBlocks)
+	ws.Spread = ws.MaxErase - ws.MinErase
+	return ws
+}
+
+// MaybeWearLevel performs at most one static wear-leveling move if the
+// erase-count spread exceeds the configured threshold: the coldest closed
+// block is collected (its valid data migrates to the current frontiers),
+// returning its under-erased cells to the free pool. Returns whether a
+// move happened. The deallocator calls this from its periodic tick.
+func (f *FTL) MaybeWearLevel() bool {
+	if f.cfg.WearDeltaThreshold == 0 {
+		return false
+	}
+	ws := f.WearStats()
+	if ws.Spread < f.cfg.WearDeltaThreshold {
+		return false
+	}
+	// coldest closed block (ties: most valid data, i.e. the most "stuck")
+	best := -1
+	var bestErase uint32
+	var bestValid int32
+	for b := 0; b < f.totalBlocks; b++ {
+		if f.state[b] != blockClosed {
+			continue
+		}
+		ec := f.array.EraseCount(b)
+		if best < 0 || ec < bestErase || (ec == bestErase && f.validCount[b] > bestValid) {
+			best, bestErase, bestValid = b, ec, f.validCount[b]
+		}
+	}
+	if best < 0 || bestErase > uint32(ws.MeanErase) {
+		return false // nothing genuinely cold to move
+	}
+	f.gcDepth++
+	f.collectBlock(best)
+	f.gcDepth--
+	f.stats.WearLevelMoves++
+	f.cfg.Tracer.Emit(f.eng.Now(), trace.KindWearLevel, int64(best), "")
+	return true
+}

@@ -1,0 +1,209 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section IV). Each experiment builds the simulated system
+// through the public checkin API, runs the paper's workload for each
+// configuration, and reports the same rows/series the paper plots.
+//
+// Absolute numbers differ from the paper (its substrate was gem5 +
+// SimpleSSD on the authors' parameters); the quantities to compare are the
+// shapes: which configuration wins, by roughly what factor, and where
+// trends cross.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+// Opts controls experiment scale. The zero value is replaced by defaults.
+type Opts struct {
+	// Scale multiplies per-point query counts. 1.0 is the full-size run
+	// used by cmd/checkin-bench; benchmarks use smaller scales.
+	Scale float64
+	// Threads overrides the default thread sweep (experiments that sweep
+	// threads use this list; others use its maximum).
+	Threads []int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{4, 16, 64, 128}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Opts) queries(base int64) int64 {
+	q := int64(float64(base) * o.Scale)
+	if q < 500 {
+		q = 500
+	}
+	return q
+}
+
+func (o Opts) maxThreads() int {
+	m := o.Threads[0]
+	for _, t := range o.Threads {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "\n### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a registered paper artifact generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Opts) (*Table, error)
+}
+
+// Experiments lists every regenerable artifact in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Simulated machine configuration", Table1},
+		{"fig3a", "I/O and flash-operation amplification due to checkpointing", Fig3a},
+		{"fig3b", "Normalized checkpointing time vs thread count (baseline)", Fig3b},
+		{"fig3c", "Query latency during checkpointing vs average (baseline)", Fig3c},
+		{"fig8a", "Redundant writes vs checkpoint interval", Fig8a},
+		{"fig8b", "GC invocations vs write-query count", Fig8b},
+		{"lifetime", "Flash lifetime projection (Equation 1)", Lifetime},
+		{"fig9", "Tail latency (99.9th / 99.99th percentile)", Fig9},
+		{"fig10", "Checkpointing time vs thread count (locked)", Fig10},
+		{"fig11a", "Average query throughput vs threads (workloads A/F/WO)", Fig11a},
+		{"fig11b", "Average query latency vs threads (workloads A/F/WO)", Fig11b},
+		{"fig12", "Sensitivity to checkpoint interval (baseline vs Check-In)", Fig12},
+		{"fig13a", "Query throughput vs mapping unit size", Fig13a},
+		{"fig13b", "Space overhead of Check-In vs ISC-C (record-size patterns)", Fig13b},
+		{"ablation", "Design-decision ablations beyond the paper's figures", Ablation},
+		{"compare", "Strict trace-replay comparison across all five configurations", Compare},
+		{"recovery", "Crash recovery and sudden-power-off recovery per configuration", Recovery},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// baseConfig is the shared starting configuration for experiment runs.
+func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = s
+	cfg.Seed = o.Seed
+	cfg.Keys = 50_000
+	cfg.CheckpointInterval = 300 * time.Millisecond
+	return cfg
+}
+
+// runOne opens, loads and runs a single configuration.
+func runOne(cfg checkin.Config, spec checkin.RunSpec) (*checkin.DB, *checkin.Metrics, error) {
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.Load()
+	m, err := db.Run(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, m, nil
+}
+
+func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string    { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string    { return fmt.Sprintf("%.0f", v) }
+func d(v uint64) string      { return fmt.Sprintf("%d", v) }
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }

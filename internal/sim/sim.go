@@ -1,0 +1,406 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every timed component of the Check-In reproduction: the
+// NAND flash array, the SSD controller, and the simulated storage-engine
+// client threads. Simulated time is virtual (VTime, nanoseconds); nothing in
+// the simulation path consults the wall clock, so a run is a pure function of
+// its configuration and seed.
+//
+// Two styles of simulated activity are supported:
+//
+//   - Callback events: Engine.Schedule(delay, fn) runs fn at a future virtual
+//     time. Cheap; used for I/O completions and timers.
+//   - Processes: Engine.Go starts a cooperative process (Proc) that may Sleep
+//     and Wait on Futures. Processes express closed-loop clients (a YCSB
+//     thread issuing queries back-to-back) as straight-line code.
+//
+// Only one goroutine executes at a time: the engine and each process hand
+// control to each other through a strict channel handshake, so execution
+// order — and therefore every simulation result — is deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// VTime is a point in (or duration of) virtual time, in nanoseconds.
+type VTime uint64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  VTime = 1
+	Microsecond VTime = 1000 * Nanosecond
+	Millisecond VTime = 1000 * Microsecond
+	Second      VTime = 1000 * Millisecond
+)
+
+// String renders a VTime using the most natural unit.
+func (t VTime) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", uint64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t VTime) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t VTime) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  VTime
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h eventHeap) nextAt() (VTime, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; create one with NewEngine.
+type Engine struct {
+	now     VTime
+	events  eventHeap
+	seq     uint64
+	stopped bool
+
+	// yield is the handshake channel: a running Proc sends on it exactly
+	// once each time it blocks or terminates, returning control to the
+	// engine (or to whichever event woke it).
+	yield chan struct{}
+
+	liveProcs int
+	executed  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() VTime { return e.now }
+
+// Executed returns the number of events processed so far (diagnostics).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// LiveProcs returns the number of processes that have started but not
+// finished. After a run completes it should normally be zero; a non-zero
+// value indicates a process blocked forever (e.g. on a Future that was never
+// completed).
+func (e *Engine) LiveProcs() int { return e.liveProcs }
+
+// Schedule runs fn after delay units of virtual time.
+func (e *Engine) Schedule(delay VTime, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past panics: it
+// would silently reorder causality.
+func (e *Engine) At(t VTime, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(^VTime(0))
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to the deadline if it runs out of events earlier. Events beyond the
+// deadline stay queued.
+func (e *Engine) RunUntil(deadline VTime) {
+	e.stopped = false
+	for !e.stopped {
+		at, ok := e.events.nextAt()
+		if !ok || at > deadline {
+			break
+		}
+		ev := e.events.pop()
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if deadline != ^VTime(0) && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// A Proc is a cooperative simulated process. All its methods must be called
+// from the process's own goroutine (inside the function passed to Engine.Go).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the name given at Go time (diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns current virtual time.
+func (p *Proc) Now() VTime { return p.eng.now }
+
+// Go starts a new process at the current virtual time. The process body runs
+// when the engine reaches the scheduling event; it may call Sleep and Wait.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.liveProcs++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			e.liveProcs--
+			e.yield <- struct{}{}
+		}()
+		p.switchTo()
+	})
+}
+
+// switchTo transfers control into the process and blocks the caller (which
+// is executing an engine event) until the process blocks or terminates.
+func (p *Proc) switchTo() {
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// block parks the process until something calls switchTo on it. The wake-up
+// must already be scheduled before calling block.
+func (p *Proc) block() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d units of virtual time.
+func (p *Proc) Sleep(d VTime) {
+	p.eng.Schedule(d, p.switchTo)
+	p.block()
+}
+
+// Wait suspends the process until f completes. Returns immediately if f is
+// already complete.
+func (p *Proc) Wait(f *Future) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p.switchTo)
+	p.block()
+}
+
+// WaitAll waits for every future in fs.
+func (p *Proc) WaitAll(fs []*Future) {
+	for _, f := range fs {
+		p.Wait(f)
+	}
+}
+
+// A Future is a one-shot completion signal carrying no value. It is
+// completed at most once, from engine context (an event or a process).
+type Future struct {
+	eng     *Engine
+	done    bool
+	waiters []func()
+}
+
+// NewFuture returns an incomplete future bound to e.
+func NewFuture(e *Engine) *Future { return &Future{eng: e} }
+
+// CompletedFuture returns an already-complete future (for fast paths that
+// finish synchronously).
+func CompletedFuture(e *Engine) *Future { return &Future{eng: e, done: true} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Complete marks the future done and schedules all waiters at the current
+// virtual time. Completing twice panics.
+func (f *Future) Complete() {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	for _, w := range f.waiters {
+		f.eng.Schedule(0, w)
+	}
+	f.waiters = nil
+}
+
+// OnComplete registers fn to run when the future completes (immediately, at
+// the current time, if it already has).
+func (f *Future) OnComplete(fn func()) {
+	if f.done {
+		f.eng.Schedule(0, fn)
+		return
+	}
+	f.waiters = append(f.waiters, fn)
+}
+
+// AfterAll returns a future that completes once all fs have completed.
+// With no inputs the result is already complete.
+func AfterAll(e *Engine, fs []*Future) *Future {
+	out := NewFuture(e)
+	n := len(fs)
+	if n == 0 {
+		out.done = true
+		return out
+	}
+	remaining := n
+	for _, f := range fs {
+		f.OnComplete(func() {
+			remaining--
+			if remaining == 0 {
+				out.Complete()
+			}
+		})
+	}
+	return out
+}
+
+// A Semaphore is a counting semaphore for simulated processes, used to model
+// bounded resources such as command-queue depth.
+type Semaphore struct {
+	eng     *Engine
+	avail   int
+	waiters []func()
+}
+
+// NewSemaphore returns a semaphore with n initially available permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{eng: e, avail: n}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiting reports the number of blocked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Acquire takes a permit, blocking the process until one is free. FIFO.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return
+	}
+	s.waiters = append(s.waiters, p.switchTo)
+	p.block()
+}
+
+// TryAcquire takes a permit without blocking; reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// AcquireAsync invokes fn (from engine context) once a permit is granted.
+func (s *Semaphore) AcquireAsync(fn func()) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		s.eng.Schedule(0, fn)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// Release returns a permit, waking the oldest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.Schedule(0, w)
+		return
+	}
+	s.avail++
+}
+
+// A Mutex is a binary semaphore with process-friendly Lock/Unlock naming.
+// It models long-held simulated locks (e.g. the checkpoint lock that stalls
+// query admission while a checkpoint runs in locked mode).
+type Mutex struct{ s *Semaphore }
+
+// NewMutex returns an unlocked simulated mutex.
+func NewMutex(e *Engine) *Mutex { return &Mutex{s: NewSemaphore(e, 1)} }
+
+// Lock blocks the process until the mutex is held.
+func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p) }
+
+// TryLock acquires without blocking; reports success.
+func (m *Mutex) TryLock() bool { return m.s.TryAcquire() }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.s.Release() }
+
+// A FIFOResource models a serially reusable resource (a flash channel bus, a
+// die, a DMA engine) with first-come-first-served queueing. Reservations are
+// pure arithmetic over a busy-until horizon: a request arriving at time t is
+// serviced in [max(t, busyUntil), max(t, busyUntil)+dur].
+type FIFOResource struct {
+	busyUntil VTime
+	busyTotal VTime // accumulated busy time, for utilization reporting
+}
+
+// Reserve books dur time on the resource starting no earlier than now.
+// It returns the service start and end times; the caller schedules its own
+// completion event at end.
+func (r *FIFOResource) Reserve(now VTime, dur VTime) (start, end VTime) {
+	start = now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + dur
+	r.busyUntil = end
+	r.busyTotal += dur
+	return start, end
+}
+
+// BusyUntil returns the time the resource frees up.
+func (r *FIFOResource) BusyUntil() VTime { return r.busyUntil }
+
+// BusyTotal returns the cumulative busy time booked on the resource.
+func (r *FIFOResource) BusyTotal() VTime { return r.busyTotal }
+
+// IdleAt reports whether the resource is idle at time t.
+func (r *FIFOResource) IdleAt(t VTime) bool { return r.busyUntil <= t }

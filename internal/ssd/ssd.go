@@ -1,0 +1,468 @@
+// Package ssd models the Check-In SSD controller: an NVMe-like host
+// interface with bounded queue depth and PCIe transfer costs, an embedded-
+// CPU cost model, a DRAM data cache, and the in-storage checkpointing
+// engine (ISCE) consisting of the log manager (journal write path), the
+// checkpoint manager (CoW and remap command service, Algorithm 1) and the
+// deallocator (journal trim and idle-time garbage collection).
+//
+// The storage engine talks to the device exclusively through this package's
+// command methods — the simulated equivalent of the block I/O interface
+// plus the paper's vendor-specific commands.
+package ssd
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// Area tells the device which logical region a host write targets, standing
+// in for the stream hints a real engine passes via write-hint/flexible data
+// placement. It selects the FTL stream and accounting tag.
+type Area uint8
+
+// Host write areas. AreaCheckpoint marks host-issued writes that rewrite
+// journaled data during an engine-side (baseline) checkpoint, so the FTL
+// accounts them as duplicate writes.
+const (
+	AreaJournal Area = iota
+	AreaData
+	AreaCheckpoint
+)
+
+func (a Area) stream() ftl.Stream {
+	if a == AreaJournal {
+		return ftl.StreamJournal
+	}
+	return ftl.StreamData
+}
+
+func (a Area) tag() ftl.Tag {
+	switch a {
+	case AreaJournal:
+		return ftl.TagHostJournal
+	case AreaCheckpoint:
+		return ftl.TagCheckpoint
+	default:
+		return ftl.TagHostData
+	}
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// QueueDepth bounds in-flight commands (NVMe submission queue depth).
+	QueueDepth int
+
+	// PCIeMBps is the host link bandwidth in MB/s.
+	PCIeMBps int
+
+	// CmdBytes is the per-command overhead moved over the link
+	// (submission entry + completion entry + doorbells).
+	CmdBytes int
+
+	// CPUPerCommand is embedded-CPU time to parse and dispatch a command.
+	CPUPerCommand sim.VTime
+
+	// CPUPerCoWEntry is embedded-CPU time per copy pair in a CoW command.
+	CPUPerCoWEntry sim.VTime
+
+	// CPUPerRemapEntry is embedded-CPU time per mapping-table update in a
+	// checkpoint-request command (pure pointer work, cheaper than a copy).
+	CPUPerRemapEntry sim.VTime
+
+	// CacheBytes is DRAM available for the data cache (unit granularity,
+	// LRU). Zero disables the cache.
+	CacheBytes int64
+
+	// DeallocatorPeriod is how often the deallocator checks for idle
+	// windows to run background GC in. Zero disables the deallocator
+	// process (GC then happens only in the foreground path).
+	DeallocatorPeriod sim.VTime
+
+	// BackgroundGCBatch is the number of victims collected per idle check.
+	BackgroundGCBatch int
+}
+
+// DefaultConfig mirrors a mid-range NVMe datacenter SSD.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:        64,
+		PCIeMBps:          3200,
+		CmdBytes:          80,
+		CPUPerCommand:     2 * sim.Microsecond,
+		CPUPerCoWEntry:    1 * sim.Microsecond,
+		CPUPerRemapEntry:  500 * sim.Nanosecond,
+		CacheBytes:        64 << 20,
+		DeallocatorPeriod: 10 * sim.Millisecond,
+		BackgroundGCBatch: 2,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("ssd: QueueDepth %d must be >= 1", c.QueueDepth)
+	}
+	if c.PCIeMBps <= 0 {
+		return fmt.Errorf("ssd: PCIeMBps %d must be positive", c.PCIeMBps)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("ssd: CacheBytes %d must be >= 0", c.CacheBytes)
+	}
+	return nil
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	Commands       uint64
+	HostReadBytes  uint64
+	HostWriteBytes uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	CoWPairs       uint64
+	RemapEntries   uint64
+	Deallocates    uint64
+	BackgroundGCs  uint64
+	// QueueWait records time commands spent waiting for a queue slot.
+	QueueWait stats1
+}
+
+// stats1 is a minimal mean accumulator (full histograms live at the engine
+// level where per-query latency is measured).
+type stats1 struct {
+	N   uint64
+	Sum sim.VTime
+}
+
+// Mean returns the average waiting time.
+func (s stats1) Mean() sim.VTime {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / sim.VTime(s.N)
+}
+
+func (s *stats1) add(v sim.VTime) { s.N++; s.Sum += v }
+
+// CoWPair is one source→destination range of a CoW command.
+type CoWPair struct {
+	Src, Dst, Len int64
+}
+
+// RemapEntry is one JMT record shipped in a checkpoint-request command:
+// remap the journal range onto the target range. Old indicates the log was
+// superseded by a newer version (Algorithm 1 skips it).
+type RemapEntry struct {
+	Src, Dst, Len int64
+	Old           bool
+}
+
+// Device is the simulated Check-In SSD.
+type Device struct {
+	eng *sim.Engine
+	f   *ftl.FTL
+	cfg Config
+
+	queue *sim.Semaphore
+	bus   sim.FIFOResource
+	cpu   sim.FIFOResource
+
+	cache *unitCache
+
+	stats Stats
+}
+
+// New wraps an FTL in a controller.
+func New(eng *sim.Engine, f *ftl.FTL, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		eng:   eng,
+		f:     f,
+		cfg:   cfg,
+		queue: sim.NewSemaphore(eng, cfg.QueueDepth),
+	}
+	if cfg.CacheBytes > 0 {
+		d.cache = newUnitCache(cfg.CacheBytes / int64(f.UnitSize()))
+	}
+	if cfg.DeallocatorPeriod > 0 {
+		d.startDeallocator()
+	}
+	return d, nil
+}
+
+// FTL exposes the translation layer for reporting.
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Stats returns a snapshot of controller counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// LogicalBytes returns the device's exported capacity.
+func (d *Device) LogicalBytes() int64 { return d.f.LogicalBytes() }
+
+// SimulateSPOR models a sudden power-off followed by the device's own
+// OOB-scan recovery (Section III-G); see ftl.FTL.SimulateSPOR.
+func (d *Device) SimulateSPOR() *ftl.SPORReport { return d.f.SimulateSPOR() }
+
+// linkTime returns PCIe transfer time for n bytes.
+func (d *Device) linkTime(n int) sim.VTime {
+	if n <= 0 {
+		return 0
+	}
+	return sim.VTime(uint64(n) * 1000 / uint64(d.cfg.PCIeMBps))
+}
+
+// submit acquires a queue slot, pays the front-end costs (link transfer of
+// the command plus dataBytes, and controller CPU of cpuTime), then invokes
+// op at the moment the device starts executing the command. op returns the
+// future for the back-end work; the returned future completes when the
+// back-end is done and the queue slot has been released.
+func (d *Device) submit(dataBytes int, cpuTime sim.VTime, op func() *sim.Future) *sim.Future {
+	out := sim.NewFuture(d.eng)
+	arrival := d.eng.Now()
+	d.stats.Commands++
+	d.queue.AcquireAsync(func() {
+		d.stats.QueueWait.add(d.eng.Now() - arrival)
+		_, busEnd := d.bus.Reserve(d.eng.Now(), d.linkTime(d.cfg.CmdBytes+dataBytes))
+		_, cpuEnd := d.cpu.Reserve(d.eng.Now(), d.cfg.CPUPerCommand+cpuTime)
+		ready := busEnd
+		if cpuEnd > ready {
+			ready = cpuEnd
+		}
+		d.eng.At(ready, func() {
+			inner := op()
+			inner.OnComplete(func() {
+				d.queue.Release()
+				out.Complete()
+			})
+		})
+	})
+	return out
+}
+
+// Read services a host read of n bytes at off. Units resident in the DRAM
+// cache are served without flash reads; the rest go to the FTL.
+func (d *Device) Read(off, n int64) *sim.Future {
+	d.stats.HostReadBytes += uint64(n)
+	return d.submit(int(n), 0, func() *sim.Future {
+		miss := d.cacheLookup(off, n)
+		if miss == 0 {
+			// full cache hit: DRAM access only; completion after the
+			// data crosses the link (accounted in submit's dataBytes)
+			return sim.CompletedFuture(d.eng)
+		}
+		return d.f.Read(off, n)
+	})
+}
+
+// Write services a host write of n bytes at off into the given area. The
+// future completes when the data is durable on flash (journal semantics
+// require an explicit Flush for buffered tails; see Flush).
+func (d *Device) Write(off, n int64, area Area) *sim.Future {
+	d.stats.HostWriteBytes += uint64(n)
+	return d.submit(int(n), 0, func() *sim.Future {
+		d.cacheInsert(off, n)
+		return d.f.Write(off, n, area.tag(), area.stream())
+	})
+}
+
+// Flush forces buffered partial pages of the area's stream to flash — the
+// device-side half of a journal commit (FLUSH/FUA semantics).
+func (d *Device) Flush(area Area) *sim.Future {
+	return d.submit(0, 0, func() *sim.Future {
+		return d.f.Sync(area.stream(), area.tag())
+	})
+}
+
+// Deallocate trims a logical range (journal deletion after checkpointing).
+func (d *Device) Deallocate(off, n int64) *sim.Future {
+	d.stats.Deallocates++
+	return d.submit(0, 0, func() *sim.Future {
+		d.cacheInvalidate(off, n)
+		d.f.Trim(off, n)
+		return sim.CompletedFuture(d.eng)
+	})
+}
+
+// CoW executes a single-pair copy-on-write command (ISC-A): the device
+// copies the range internally; no data crosses the host link.
+func (d *Device) CoW(src, dst, n int64) *sim.Future {
+	d.stats.CoWPairs++
+	return d.submit(0, d.cfg.CPUPerCoWEntry, func() *sim.Future {
+		cached := d.cacheLookup(src, n) == 0
+		d.cacheInvalidate(dst, n)
+		cf := d.f.CopyCached(src, dst, n, ftl.TagCheckpoint, cached)
+		sf := d.f.Sync(ftl.StreamData, ftl.TagCheckpoint)
+		return sim.AfterAll(d.eng, []*sim.Future{cf, sf})
+	})
+}
+
+// MultiCoW executes a batched copy command (ISC-B): one submission carries
+// many pairs, drastically reducing command-queue pressure; the device
+// orders the work as consecutive reads then consecutive writes.
+func (d *Device) MultiCoW(pairs []CoWPair) *sim.Future {
+	d.stats.CoWPairs += uint64(len(pairs))
+	meta := len(pairs) * 24
+	cpu := sim.VTime(len(pairs)) * d.cfg.CPUPerCoWEntry
+	return d.submit(meta, cpu, func() *sim.Future {
+		futs := make([]*sim.Future, 0, len(pairs)+1)
+		for _, p := range pairs {
+			cached := d.cacheLookup(p.Src, p.Len) == 0
+			d.cacheInvalidate(p.Dst, p.Len)
+			futs = append(futs, d.f.CopyCached(p.Src, p.Dst, p.Len, ftl.TagCheckpoint, cached))
+		}
+		// one durability barrier per command: copies batch into full pages
+		futs = append(futs, d.f.Sync(ftl.StreamData, ftl.TagCheckpoint))
+		return sim.AfterAll(d.eng, futs)
+	})
+}
+
+// RemapStats aggregates what a checkpoint-request command did.
+type RemapStats struct {
+	Remapped int
+	RMWs     int
+	Skipped  int
+}
+
+// CheckpointRequest executes the paper's checkpoint command: the JMT
+// metadata rides in the command payload; the checkpoint manager walks it
+// (Algorithm 1), skipping OLD entries and remapping the rest. Aligned
+// entries are pure mapping updates; unaligned ones degrade to in-device
+// read-merge-writes. The returned future completes when the checkpoint is
+// durable.
+func (d *Device) CheckpointRequest(entries []RemapEntry) (*RemapStats, *sim.Future) {
+	res := &RemapStats{}
+	live := 0
+	for _, e := range entries {
+		if !e.Old {
+			live++
+		}
+	}
+	d.stats.RemapEntries += uint64(live)
+	meta := len(entries) * 25
+	cpu := sim.VTime(live) * d.cfg.CPUPerRemapEntry
+	fut := d.submit(meta, cpu, func() *sim.Future {
+		var futs []*sim.Future
+		for _, e := range entries {
+			if e.Old {
+				continue
+			}
+			cached := d.cacheLookup(e.Src, e.Len) == 0
+			d.cacheInvalidate(e.Dst, e.Len)
+			r, f := d.f.RemapCached(e.Src, e.Dst, e.Len, cached)
+			res.Remapped += r.Remapped
+			res.RMWs += r.RMWs
+			res.Skipped += r.Skipped
+			if !f.Done() {
+				futs = append(futs, f)
+			}
+		}
+		return sim.AfterAll(d.eng, futs)
+	})
+	return res, fut
+}
+
+// ---------------------------------------------------------------------------
+// deallocator: idle-window background GC
+
+func (d *Device) startDeallocator() {
+	var tick func()
+	tick = func() {
+		now := d.eng.Now()
+		switch {
+		case d.f.LowSpace():
+			// space pressure: reclaim a small batch even while busy so
+			// the foreground path never has to stall on a giant burst
+			n := d.f.BackgroundGCForce(d.cfg.BackgroundGCBatch)
+			d.stats.BackgroundGCs += uint64(n)
+		case d.f.Array().AllDiesIdleAt(now) && d.f.HasReclaimable():
+			n := d.f.BackgroundGC(d.cfg.BackgroundGCBatch)
+			d.stats.BackgroundGCs += uint64(n)
+		case d.f.Array().AllDiesIdleAt(now):
+			d.f.MaybeWearLevel()
+		}
+		d.eng.Schedule(d.cfg.DeallocatorPeriod, tick)
+	}
+	d.eng.Schedule(d.cfg.DeallocatorPeriod, tick)
+}
+
+// StopConditionless deallocator note: the periodic event keeps the engine's
+// queue non-empty forever; simulations therefore run with RunUntil.
+
+// ---------------------------------------------------------------------------
+// DRAM data cache (unit-granular LRU)
+
+type unitCache struct {
+	capacity int64
+	ll       *list.List // front = most recent; values are unit numbers
+	index    map[int64]*list.Element
+}
+
+func newUnitCache(capUnits int64) *unitCache {
+	if capUnits < 1 {
+		return nil
+	}
+	return &unitCache{capacity: capUnits, ll: list.New(), index: make(map[int64]*list.Element)}
+}
+
+func (d *Device) unitsOf(off, n int64) (first, last int64) {
+	u := int64(d.f.UnitSize())
+	if n <= 0 {
+		return 0, -1
+	}
+	return off / u, (off + n - 1) / u
+}
+
+// cacheLookup touches all units of the range and returns how many missed.
+func (d *Device) cacheLookup(off, n int64) int {
+	if d.cache == nil {
+		return int(n/int64(d.f.UnitSize())) + 1
+	}
+	first, last := d.unitsOf(off, n)
+	miss := 0
+	for u := first; u <= last; u++ {
+		if el, ok := d.cache.index[u]; ok {
+			d.cache.ll.MoveToFront(el)
+			d.stats.CacheHits++
+		} else {
+			miss++
+			d.stats.CacheMisses++
+		}
+	}
+	return miss
+}
+
+func (d *Device) cacheInsert(off, n int64) {
+	if d.cache == nil {
+		return
+	}
+	first, last := d.unitsOf(off, n)
+	for u := first; u <= last; u++ {
+		if el, ok := d.cache.index[u]; ok {
+			d.cache.ll.MoveToFront(el)
+			continue
+		}
+		d.cache.index[u] = d.cache.ll.PushFront(u)
+		if int64(d.cache.ll.Len()) > d.cache.capacity {
+			old := d.cache.ll.Back()
+			d.cache.ll.Remove(old)
+			delete(d.cache.index, old.Value.(int64))
+		}
+	}
+}
+
+func (d *Device) cacheInvalidate(off, n int64) {
+	if d.cache == nil {
+		return
+	}
+	first, last := d.unitsOf(off, n)
+	for u := first; u <= last; u++ {
+		if el, ok := d.cache.index[u]; ok {
+			d.cache.ll.Remove(el)
+			delete(d.cache.index, u)
+		}
+	}
+}

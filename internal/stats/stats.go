@@ -1,0 +1,273 @@
+// Package stats provides the measurement primitives used across the
+// Check-In reproduction: log-bucketed latency histograms with accurate tail
+// percentiles (p99.9 / p99.99 are headline numbers in the paper), plain
+// counters with named registries, and time series for figure output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-bucketed histogram of non-negative integer samples
+// (typically latencies in nanoseconds). Relative error per bucket is bounded
+// by 1/subBuckets (~1.6 %), which is far finer than the effects the paper
+// reports. The zero value is ready to use.
+type Histogram struct {
+	counts [64][subBuckets]uint64
+	total  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const subBuckets = 64
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) { h.RecordN(v, 1) }
+
+// RecordN adds n identical samples.
+func (h *Histogram) RecordN(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	major, minor := bucketOf(v)
+	h.counts[major][minor] += n
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total += n
+	h.sum += v * n
+}
+
+func bucketOf(v uint64) (major, minor int) {
+	if v < subBuckets {
+		return 0, int(v)
+	}
+	major = bits.Len64(v) - 6 // so that values < 64 land in major 0
+	minor = int(v >> uint(major) & (subBuckets - 1))
+	return major, minor
+}
+
+// bucketLow returns the lowest value that maps into bucket (major, minor).
+// For major >= 1 the minor index already contains the implied top bit
+// (minor is always in [32, 64) there), so the low edge is minor << major.
+func bucketLow(major, minor int) uint64 {
+	return uint64(minor) << uint(major)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile,
+// p in (0, 100]. Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for major := 0; major < 64; major++ {
+		for minor := 0; minor < subBuckets; minor++ {
+			c := h.counts[major][minor]
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen >= rank {
+				hi := bucketHigh(major, minor)
+				if hi > h.max {
+					hi = h.max
+				}
+				return hi
+			}
+		}
+	}
+	return h.max
+}
+
+// bucketHigh returns the highest value that maps into bucket (major, minor).
+func bucketHigh(major, minor int) uint64 {
+	if major == 0 {
+		return uint64(minor)
+	}
+	return bucketLow(major, minor) + (uint64(1) << uint(major)) - 1
+}
+
+// Merge adds all samples from o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	for major := range o.counts {
+		for minor, c := range o.counts[major] {
+			h.counts[major][minor] += c
+		}
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Summary is a compact snapshot of a histogram's headline statistics.
+type Summary struct {
+	Count uint64
+	Mean  float64
+	Min   uint64
+	P50   uint64
+	P90   uint64
+	P99   uint64
+	P999  uint64
+	P9999 uint64
+	Max   uint64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		P9999: h.Percentile(99.99),
+		Max:   h.Max(),
+	}
+}
+
+// Counters is a registry of named monotonic counters. The zero value is
+// ready to use.
+type Counters struct {
+	m map[string]uint64
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (0 if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from o into c.
+func (c *Counters) Merge(o *Counters) {
+	for n, v := range o.m {
+		c.Add(n, v)
+	}
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%-32s %d\n", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Series is an ordered sequence of (x, y) points forming one line of a
+// figure (e.g. checkpointing time vs thread count for one configuration).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the given x, and whether it exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Normalize divides every y by the y at the given x (useful for the paper's
+// "normalized" figures). It is a no-op if that point is missing or zero.
+func (s *Series) Normalize(atX float64) {
+	base, ok := s.YAt(atX)
+	if !ok || base == 0 {
+		return
+	}
+	for i := range s.Y {
+		s.Y[i] /= base
+	}
+}

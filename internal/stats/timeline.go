@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Timeline collects fixed-interval samples of named values over a run —
+// windowed throughput, in-flight checkpoint flags, backlog depths — for
+// rendering how a metric evolves (e.g. the throughput dip a baseline
+// checkpoint causes). Samples are appended by the simulation at virtual
+// times; rendering is offline.
+type Timeline struct {
+	names []string
+	index map[string]int
+	rows  []timelineRow
+}
+
+type timelineRow struct {
+	atNS uint64
+	vals []float64
+}
+
+// NewTimeline creates a timeline for the named series.
+func NewTimeline(names ...string) *Timeline {
+	t := &Timeline{names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		t.index[n] = i
+	}
+	return t
+}
+
+// Names returns the series names.
+func (t *Timeline) Names() []string { return t.names }
+
+// Sample appends one row of values at virtual time atNS. Values must be in
+// series order (length-checked).
+func (t *Timeline) Sample(atNS uint64, vals ...float64) {
+	if len(vals) != len(t.names) {
+		panic(fmt.Sprintf("stats: timeline sample has %d values, want %d", len(vals), len(t.names)))
+	}
+	row := timelineRow{atNS: atNS, vals: make([]float64, len(vals))}
+	copy(row.vals, vals)
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of samples.
+func (t *Timeline) Len() int { return len(t.rows) }
+
+// At returns the i-th sample (time in ns, values in series order).
+func (t *Timeline) At(i int) (uint64, []float64) {
+	return t.rows[i].atNS, t.rows[i].vals
+}
+
+// Series extracts one named series as (x=seconds, y=value) points.
+func (t *Timeline) Series(name string) (*Series, error) {
+	idx, ok := t.index[name]
+	if !ok {
+		return nil, fmt.Errorf("stats: timeline has no series %q", name)
+	}
+	s := &Series{Name: name}
+	for _, r := range t.rows {
+		s.Append(float64(r.atNS)/1e9, r.vals[idx])
+	}
+	return s, nil
+}
+
+// WriteCSV emits the timeline as CSV with a time_s column first.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(t.names, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		cells := make([]string, 0, len(r.vals)+1)
+		cells = append(cells, fmt.Sprintf("%.6f", float64(r.atNS)/1e9))
+		for _, v := range r.vals {
+			cells = append(cells, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders one series as a compact unicode sparkline (reporting
+// aid for terminal output).
+func (t *Timeline) Sparkline(name string, width int) (string, error) {
+	s, err := t.Series(name)
+	if err != nil {
+		return "", err
+	}
+	if s.Len() == 0 {
+		return "", nil
+	}
+	if width <= 0 || width > s.Len() {
+		width = s.Len()
+	}
+	// bucket-average down to width points
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i := 0; i < s.Len(); i++ {
+		b := i * width / s.Len()
+		buckets[b] += s.Y[i]
+		counts[b]++
+	}
+	min, max := 0.0, 0.0
+	first := true
+	for i := range buckets {
+		if counts[i] > 0 {
+			buckets[i] /= float64(counts[i])
+			if first || buckets[i] < min {
+				min = buckets[i]
+			}
+			if first || buckets[i] > max {
+				max = buckets[i]
+			}
+			first = false
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for i := range buckets {
+		if counts[i] == 0 {
+			b.WriteRune(' ')
+			continue
+		}
+		lvl := 0
+		if max > min {
+			lvl = int((buckets[i] - min) / (max - min) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[lvl])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpRead: "read", OpUpdate: "update", OpInsert: "insert", OpReadModifyWrite: "rmw",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("OpKind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+	if OpKind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	rng := sim.NewRNG(1)
+	u := Uniform{Keys: 100}
+	seen := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		k := u.Next(rng)
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	if len(seen) != 100 {
+		t.Errorf("uniform hit %d/100 keys", len(seen))
+	}
+	// Roughly flat: every key within 3x of expectation.
+	for k, n := range seen {
+		if n < 1000/3 || n > 3000 {
+			t.Errorf("key %d drawn %d times (expected ~1000)", k, n)
+		}
+	}
+	if u.Name() != "uniform" {
+		t.Error("name wrong")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := sim.NewRNG(2)
+	z := NewZipfian(10000, DefaultTheta)
+	counts := make(map[int64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next(rng)
+		if k < 0 || k >= 10000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Sort key frequencies descending; the hot tail must dominate.
+	freqs := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top10 := 0
+	for i := 0; i < 10 && i < len(freqs); i++ {
+		top10 += freqs[i]
+	}
+	share := float64(top10) / draws
+	// With θ=0.99 over 10k keys the top 10 keys carry roughly 25-45 %.
+	if share < 0.15 {
+		t.Errorf("top-10 key share = %.3f, distribution not skewed", share)
+	}
+	// But the tail must still be reachable.
+	if len(counts) < 2000 {
+		t.Errorf("only %d distinct keys drawn; scrambling broken?", len(counts))
+	}
+	if z.Name() != "zipfian" {
+		t.Error("name wrong")
+	}
+}
+
+func TestZipfianDeterminism(t *testing.T) {
+	z := NewZipfian(1000, DefaultTheta)
+	a := sim.NewRNG(7)
+	b := sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if z.Next(a) != z.Next(b) {
+			t.Fatal("zipfian not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestZipfianPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipfian(0, DefaultTheta) },
+		func() { NewZipfian(10, 0) },
+		func() { NewZipfian(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid zipfian accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZetaMatchesDirectSum(t *testing.T) {
+	got := zeta(4, 1.0-1e-12) // θ→1: harmonic-ish
+	want := 1 + 0.5 + 1.0/3 + 0.25
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("zeta(4) = %v, want %v", got, want)
+	}
+}
+
+func TestFixedSizer(t *testing.T) {
+	s := FixedSizer{Size: 512}
+	if s.SizeOf(0) != 512 || s.SizeOf(99999) != 512 {
+		t.Error("fixed sizer varies")
+	}
+	if s.Name() != "fixed-512B" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestMixSizerStableAndWeighted(t *testing.T) {
+	m := NewMixSizer("test", []int{128, 4096}, []int{3, 1})
+	counts := map[int]int{}
+	for k := int64(0); k < 40000; k++ {
+		sz := m.SizeOf(k)
+		if sz != m.SizeOf(k) {
+			t.Fatal("size not stable for a key")
+		}
+		counts[sz]++
+	}
+	frac128 := float64(counts[128]) / 40000
+	if frac128 < 0.70 || frac128 > 0.80 {
+		t.Errorf("128B fraction = %.3f, want ~0.75", frac128)
+	}
+	if m.Name() != "test" {
+		t.Error("name wrong")
+	}
+}
+
+func TestMixSizerPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMixSizer("x", nil, nil) },
+		func() { NewMixSizer("x", []int{128}, []int{1, 2}) },
+		func() { NewMixSizer("x", []int{128}, []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad mix accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	for _, p := range []*MixSizer{PatternP1, PatternP2, PatternP3, PatternP4} {
+		for k := int64(0); k < 1000; k++ {
+			sz := p.SizeOf(k)
+			if sz < 128 || sz > 4096 {
+				t.Errorf("%s produced size %d outside [128,4096]", p.Name(), sz)
+			}
+		}
+	}
+	// P2 skews small, P3 skews large.
+	var sum2, sum3 int
+	for k := int64(0); k < 10000; k++ {
+		sum2 += PatternP2.SizeOf(k)
+		sum3 += PatternP3.SizeOf(k)
+	}
+	if sum2 >= sum3 {
+		t.Error("P2 (small mix) mean size not below P3 (large mix)")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range []Mix{WorkloadA, WorkloadF, WorkloadWO} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("paper mix %+v rejected: %v", m, err)
+		}
+	}
+	bad := []Mix{
+		{ReadPct: 50, UpdatePct: 40},
+		{ReadPct: -10, UpdatePct: 110},
+		{ReadPct: 120, UpdatePct: -20},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %+v accepted", m)
+		}
+	}
+}
+
+func TestMixName(t *testing.T) {
+	if MixName(WorkloadA) != "A" || MixName(WorkloadF) != "F" || MixName(WorkloadWO) != "WO" {
+		t.Error("paper mix names wrong")
+	}
+	if MixName(Mix{ReadPct: 10, UpdatePct: 90}) != "r10/u90/rmw0" {
+		t.Errorf("custom mix name = %q", MixName(Mix{ReadPct: 10, UpdatePct: 90}))
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	rng := sim.NewRNG(3)
+	g, err := NewGenerator(Uniform{Keys: 1000}, FixedSizer{Size: 512}, WorkloadA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, updates int
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatalf("workload A produced %v", op.Kind)
+		}
+		if op.Size != 512 {
+			t.Fatal("size not applied")
+		}
+	}
+	rf := float64(reads) / 100000
+	if rf < 0.48 || rf > 0.52 {
+		t.Errorf("read fraction = %.3f, want ~0.5", rf)
+	}
+}
+
+func TestGeneratorWorkloadF(t *testing.T) {
+	rng := sim.NewRNG(4)
+	g, _ := NewGenerator(Uniform{Keys: 100}, FixedSizer{Size: 256}, WorkloadF, rng)
+	var rmw int
+	for i := 0; i < 10000; i++ {
+		if op := g.Next(); op.Kind == OpReadModifyWrite {
+			rmw++
+		} else if op.Kind != OpRead {
+			t.Fatalf("workload F produced %v", op.Kind)
+		}
+	}
+	if rmw < 4700 || rmw > 5300 {
+		t.Errorf("rmw count = %d, want ~5000", rmw)
+	}
+}
+
+func TestGeneratorRejectsBadMix(t *testing.T) {
+	if _, err := NewGenerator(Uniform{Keys: 10}, FixedSizer{Size: 1}, Mix{ReadPct: 10}, sim.NewRNG(0)); err == nil {
+		t.Error("bad mix accepted by NewGenerator")
+	}
+}
+
+func TestLoadOps(t *testing.T) {
+	ops := LoadOps(10, FixedSizer{Size: 777})
+	if len(ops) != 10 {
+		t.Fatalf("LoadOps returned %d ops", len(ops))
+	}
+	for i, op := range ops {
+		if op.Kind != OpInsert || op.Key != int64(i) || op.Size != 777 {
+			t.Fatalf("LoadOps[%d] = %+v", i, op)
+		}
+	}
+}
+
+func TestScrambleNonNegativeProperty(t *testing.T) {
+	err := quick.Check(func(v int64) bool {
+		s := scramble(v)
+		return s >= 0
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
