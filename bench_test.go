@@ -1,6 +1,8 @@
 package checkin_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/checkin-kv/checkin/internal/harness"
@@ -56,3 +58,41 @@ func BenchmarkFig13bSpaceOverhead(b *testing.B)      { runExperiment(b, "fig13b"
 func BenchmarkAblations(b *testing.B)                { runExperiment(b, "ablation") }
 func BenchmarkCompareReplay(b *testing.B)            { runExperiment(b, "compare") }
 func BenchmarkRecovery(b *testing.B)                 { runExperiment(b, "recovery") }
+
+// BenchmarkParallelSuite measures the worker-pool speedup end to end: the
+// same multi-run experiments executed strictly sequentially and at NumCPU
+// workers. fig9 (10 runs) and compare (5 runs sharing one trace) are the
+// suite; both render byte-identically at either setting (see
+// internal/harness TestParallelDeterminism). The recorded speedup snapshot
+// lives in BENCH_runner.json.
+func BenchmarkParallelSuite(b *testing.B) {
+	suite := []string{"fig9", "compare"}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, id := range suite {
+					exp, err := harness.Lookup(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					o := benchOpts()
+					o.Parallelism = bc.par
+					table, err := exp.Run(o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(table.Rows) == 0 {
+						b.Fatalf("%s produced no rows", id)
+					}
+				}
+			}
+		})
+	}
+}

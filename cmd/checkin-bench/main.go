@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,10 +31,44 @@ func main() {
 		threads    = flag.String("threads", "4,16,64,128", "comma-separated thread sweep")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		seeds      = flag.String("seeds", "", "comma-separated seeds: run each experiment once per seed (variance evidence); overrides -seed")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for an experiment's independent runs (0 = NumCPU, 1 = sequential; output is identical either way)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -75,7 +111,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {

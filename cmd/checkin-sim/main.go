@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
@@ -35,8 +37,36 @@ func main() {
 		timeline    = flag.String("timeline", "", "write a CSV timeline of the run to this file (10ms samples)")
 		dumpTrace   = flag.Bool("trace", false, "print the run's structured event trace summary and tail")
 		printConfig = flag.Bool("print-config", false, "print the resolved configuration and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	s, err := checkin.ParseStrategy(*strategy)
 	if err != nil {

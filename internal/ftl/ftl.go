@@ -285,6 +285,11 @@ type FTL struct {
 
 	gcDepth int // re-entrancy guard: GC's own writes must not trigger GC
 
+	// lunsBuf is the scratch buffer behind lunsOf: the GC migrate loop
+	// calls it once per valid slot, and a fresh slice per call was a
+	// measurable allocation source on GC-heavy runs.
+	lunsBuf []int64
+
 	// rlog is the persistent recovery state (OOB records, remap aliases,
 	// trim extents) backing SimulateSPOR.
 	rlog *recoveryLog
@@ -486,13 +491,16 @@ func (f *FTL) dropRef(sid, lun int64) {
 	}
 }
 
-// lunsOf returns every logical unit referencing sid.
+// lunsOf returns every logical unit referencing sid. The result aliases a
+// scratch buffer reused across calls (valid until the next lunsOf call);
+// callers needing a stable copy must clone it.
 func (f *FTL) lunsOf(sid int64) []int64 {
 	if f.refcnt[sid] == 0 {
 		return nil
 	}
-	out := []int64{f.rev[sid]}
+	out := append(f.lunsBuf[:0], f.rev[sid])
 	out = append(out, f.revOverflow[sid]...)
+	f.lunsBuf = out
 	return out
 }
 
@@ -654,14 +662,24 @@ func (f *FTL) programOpenPage(s Stream, idx int, tag Tag) {
 	f.advanceFrontier(fr, block)
 }
 
-// trackOutstanding records an issued program so Sync can wait for it,
-// compacting completed entries as it goes.
+// trackOutstanding records an issued program so Sync can wait for it.
+// Completed entries are dropped only when the backing array is full, which
+// amortizes the scan to O(1) per program — scanning on every call made this
+// the hottest FTL function on write-heavy runs (the set grows with every
+// page programmed between two Syncs).
 func (f *FTL) trackOutstanding(s Stream, progF *sim.Future) {
-	out := f.outstanding[s][:0]
-	for _, pf := range f.outstanding[s] {
-		if !pf.Done() {
-			out = append(out, pf)
+	out := f.outstanding[s]
+	if len(out) == cap(out) && len(out) > 0 {
+		kept := out[:0]
+		for _, pf := range out {
+			if !pf.Done() {
+				kept = append(kept, pf)
+			}
 		}
+		for i := len(kept); i < len(out); i++ {
+			out[i] = nil // release completed futures for GC
+		}
+		out = kept
 	}
 	f.outstanding[s] = append(out, progF)
 }

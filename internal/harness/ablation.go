@@ -4,6 +4,7 @@ import (
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/runner"
 )
 
 // Ablation exercises the design decisions DESIGN.md calls out, one variant
@@ -52,6 +53,7 @@ func Ablation(o Opts) (*Table, error) {
 		}},
 	}
 
+	jobs := make([]runner.Job, 0, len(variants))
 	for _, v := range variants {
 		// run on the small device so GC-sensitive levers (DeferGC) bite
 		cfg := smallDevice(baseConfig(o, checkin.StrategyCheckIn))
@@ -61,15 +63,23 @@ func Ablation(o Opts) (*Table, error) {
 			// smallest non-zero cache the facade accepts ≈ "off"
 			cfg.DataCacheMB = 1
 		}
-		_, m, err := runOne(cfg, checkin.RunSpec{
-			Threads:      o.maxThreads(),
-			TotalQueries: o.queries(60_000),
-			Mix:          checkin.WorkloadA,
-			Zipfian:      true,
+		jobs = append(jobs, runner.Job{
+			Name:   "ablation/" + v.name,
+			Config: cfg,
+			Spec: checkin.RunSpec{
+				Threads:      o.maxThreads(),
+				TotalQueries: o.queries(60_000),
+				Mix:          checkin.WorkloadA,
+				Zipfian:      true,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		m := rs[i].Metrics
 		t.AddRow(v.name,
 			f1(m.ThroughputQPS()/1e3),
 			f1(float64(m.AllLat.Percentile(99.9))/1e6),

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/runner"
 )
 
 // Compare replays one recorded operation stream — byte-identical inputs —
@@ -23,17 +24,28 @@ func Compare(o Opts) (*Table, error) {
 		return nil, err
 	}
 
+	// all five jobs share the recorded trace; replay only reads it, so the
+	// share is race-free under parallel execution
+	jobs := make([]runner.Job, 0, len(checkin.Strategies))
 	for _, s := range checkin.Strategies {
 		cfg := baseConfig(o, s)
 		cfg.CheckpointInterval = 300 * time.Millisecond
-		db, m, err := runOne(cfg, checkin.RunSpec{
-			Threads:      o.maxThreads(),
-			TotalQueries: int64(len(trace.Ops)),
-			Trace:        trace,
+		jobs = append(jobs, runner.Job{
+			Name:   "compare/" + s.String(),
+			Config: cfg,
+			Spec: checkin.RunSpec{
+				Threads:      o.maxThreads(),
+				TotalQueries: int64(len(trace.Ops)),
+				Trace:        trace,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range checkin.Strategies {
+		db, m := rs[i].DB, rs[i].Metrics
 		t.AddRow(s.String(),
 			f1(m.ThroughputQPS()/1e3),
 			f1(float64(m.MeanLatency())/1e3),

@@ -5,7 +5,14 @@ import (
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/runner"
 )
+
+// Experiments declare every run point as a runner.Job up front, execute the
+// batch on the worker pool (Opts.Parallelism), and assemble rows from the
+// completed results. Jobs are pure (config, seed) functions and results
+// come back in submission order, so tables are byte-identical at any
+// parallelism.
 
 // Table1 prints the simulated machine configuration (the reproduction of
 // the paper's Table I).
@@ -40,29 +47,42 @@ func Table1(o Opts) (*Table, error) {
 	return t, nil
 }
 
+// distName names a distribution selector.
+func distName(zipf bool) string {
+	if zipf {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
 // Fig3a measures the I/O- and flash-operation amplification checkpointing
 // adds on the baseline system, for uniform and Zipfian access (paper:
 // ~2.98x/~1.91x host I/O, ~7.9x/~4.7x flash operations).
 func Fig3a(o Opts) (*Table, error) {
 	o = o.withDefaults()
+	dists := []bool{false, true}
+	jobs := make([]runner.Job, 0, len(dists))
+	for _, zipf := range dists {
+		jobs = append(jobs, runner.Job{
+			Name:   "fig3a/" + distName(zipf),
+			Config: baseConfig(o, checkin.StrategyBaseline),
+			Spec: checkin.RunSpec{
+				Threads:      o.maxThreads(),
+				TotalQueries: o.queries(80_000),
+				Mix:          checkin.WorkloadWO,
+				Zipfian:      zipf,
+			},
+		})
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "fig3a", Title: "Amplification due to checkpointing (baseline)",
 		Columns: []string{"distribution", "host I/O amp", "flash amp", "ckpts"}}
-	for _, zipf := range []bool{false, true} {
-		cfg := baseConfig(o, checkin.StrategyBaseline)
-		_, m, err := runOne(cfg, checkin.RunSpec{
-			Threads:      o.maxThreads(),
-			TotalQueries: o.queries(80_000),
-			Mix:          checkin.WorkloadWO,
-			Zipfian:      zipf,
-		})
-		if err != nil {
-			return nil, err
-		}
-		name := "uniform"
-		if zipf {
-			name = "zipfian"
-		}
-		t.AddRow(name, ratio(m.IOAmplification()), ratio(m.FlashAmplification()),
+	for i, zipf := range dists {
+		m := rs[i].Metrics
+		t.AddRow(distName(zipf), ratio(m.IOAmplification()), ratio(m.FlashAmplification()),
 			d(uint64(m.Checkpoints())))
 	}
 	t.Notes = append(t.Notes,
@@ -74,26 +94,37 @@ func Fig3a(o Opts) (*Table, error) {
 // normalized to the smallest thread count, for both distributions.
 func Fig3b(o Opts) (*Table, error) {
 	o = o.withDefaults()
-	t := &Table{ID: "fig3b", Title: "Normalized checkpointing time vs threads (baseline)",
-		Columns: []string{"threads", "uniform", "zipfian", "uniform ms", "zipfian ms"}}
-	type point struct{ uni, zipf float64 }
-	pts := make([]point, len(o.Threads))
-	for zi, zipf := range []bool{false, true} {
-		for i, th := range o.Threads {
-			cfg := baseConfig(o, checkin.StrategyBaseline)
+	dists := []bool{false, true}
+	jobs := make([]runner.Job, 0, len(dists)*len(o.Threads))
+	for _, zipf := range dists {
+		for _, th := range o.Threads {
 			mult := int64(th / o.Threads[0])
 			if mult > 8 {
 				mult = 8
 			}
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      th,
-				TotalQueries: o.queries(8_000) * mult,
-				Mix:          checkin.WorkloadWO,
-				Zipfian:      zipf,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig3b/%s/%dT", distName(zipf), th),
+				Config: baseConfig(o, checkin.StrategyBaseline),
+				Spec: checkin.RunSpec{
+					Threads:      th,
+					TotalQueries: o.queries(8_000) * mult,
+					Mix:          checkin.WorkloadWO,
+					Zipfian:      zipf,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig3b", Title: "Normalized checkpointing time vs threads (baseline)",
+		Columns: []string{"threads", "uniform", "zipfian", "uniform ms", "zipfian ms"}}
+	type point struct{ uni, zipf float64 }
+	pts := make([]point, len(o.Threads))
+	for zi := range dists {
+		for i := range o.Threads {
+			m := rs[zi*len(o.Threads)+i].Metrics
 			v := float64(m.MeanCheckpointTime()) / 1e6 // ms
 			if zi == 0 {
 				pts[i].uni = v
@@ -122,16 +153,20 @@ func Fig3b(o Opts) (*Table, error) {
 // in flight (paper: reads ~4x, writes ~21x the average latency).
 func Fig3c(o Opts) (*Table, error) {
 	o = o.withDefaults()
-	cfg := baseConfig(o, checkin.StrategyBaseline)
-	_, m, err := runOne(cfg, checkin.RunSpec{
-		Threads:      o.maxThreads(),
-		TotalQueries: o.queries(80_000),
-		Mix:          checkin.WorkloadA,
-		Zipfian:      true,
-	})
+	rs, err := runJobs(o, []runner.Job{{
+		Name:   "fig3c/baseline",
+		Config: baseConfig(o, checkin.StrategyBaseline),
+		Spec: checkin.RunSpec{
+			Threads:      o.maxThreads(),
+			TotalQueries: o.queries(80_000),
+			Mix:          checkin.WorkloadA,
+			Zipfian:      true,
+		},
+	}})
 	if err != nil {
 		return nil, err
 	}
+	m := rs[0].Metrics
 	t := &Table{ID: "fig3c", Title: "Latency during checkpointing vs average (baseline)",
 		Columns: []string{"query", "avg (µs)", "during ckpt (µs)", "slowdown"}}
 	rd, rdC := m.ReadLat.Mean()/1e3, m.ReadLatCkpt.Mean()/1e3
@@ -160,24 +195,34 @@ func Fig8a(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	intervals := []time.Duration{150 * time.Millisecond, 300 * time.Millisecond,
 		600 * time.Millisecond, 1200 * time.Millisecond}
-	t := &Table{ID: "fig8a", Title: "Redundant writes vs checkpoint interval",
-		Columns: []string{"interval", "Baseline", "ISC-C", "Check-In", "CI/Base", "CI/ISC-C"}}
-	var sumBase, sumISCC, sumCI float64
+	jobs := make([]runner.Job, 0, len(intervals)*len(fig8Strategies))
 	for _, iv := range intervals {
-		row := make(map[checkin.Strategy]uint64)
 		for _, s := range fig8Strategies {
 			cfg := baseConfig(o, s)
 			cfg.CheckpointInterval = iv
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: o.queries(80_000),
-				Mix:          checkin.WorkloadWO,
-				Zipfian:      true,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig8a/%v/%v", iv, s),
+				Config: cfg,
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: o.queries(80_000),
+					Mix:          checkin.WorkloadWO,
+					Zipfian:      true,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			row[s] = m.RedundantWrites()
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig8a", Title: "Redundant writes vs checkpoint interval",
+		Columns: []string{"interval", "Baseline", "ISC-C", "Check-In", "CI/Base", "CI/ISC-C"}}
+	var sumBase, sumISCC, sumCI float64
+	for ii, iv := range intervals {
+		row := make(map[checkin.Strategy]uint64)
+		for si, s := range fig8Strategies {
+			row[s] = rs[ii*len(fig8Strategies)+si].Metrics.RedundantWrites()
 		}
 		b, c, ci := row[checkin.StrategyBaseline], row[checkin.StrategyISCC], row[checkin.StrategyCheckIn]
 		rb, rc := "-", "-"
@@ -216,23 +261,32 @@ func smallDevice(cfg checkin.Config) checkin.Config {
 func Fig8b(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	counts := []int64{o.queries(30_000), o.queries(60_000), o.queries(120_000)}
+	jobs := make([]runner.Job, 0, len(counts)*len(fig8Strategies))
+	for _, q := range counts {
+		for _, s := range fig8Strategies {
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig8b/%d/%v", q, s),
+				Config: smallDevice(baseConfig(o, s)),
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: q,
+					Mix:          checkin.WorkloadWO,
+					Zipfian:      true,
+				},
+			})
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "fig8b", Title: "GC invocations vs write-query count",
 		Columns: []string{"write queries", "Baseline", "ISC-C", "Check-In"}}
 	var lastBase, lastISCC, lastCI uint64
-	for _, q := range counts {
+	for qi, q := range counts {
 		row := make(map[checkin.Strategy]uint64)
-		for _, s := range fig8Strategies {
-			cfg := smallDevice(baseConfig(o, s))
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: q,
-				Mix:          checkin.WorkloadWO,
-				Zipfian:      true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row[s] = m.Reclaims()
+		for si, s := range fig8Strategies {
+			row[s] = rs[qi*len(fig8Strategies)+si].Metrics.Reclaims()
 		}
 		lastBase, lastISCC, lastCI = row[checkin.StrategyBaseline], row[checkin.StrategyISCC], row[checkin.StrategyCheckIn]
 		t.AddRow(d(uint64(q)), d(lastBase), d(lastISCC), d(lastCI))
@@ -248,27 +302,29 @@ func Fig8b(o Opts) (*Table, error) {
 // ISC-C). Top is the measured window and BEC the erases within it.
 func Lifetime(o Opts) (*Table, error) {
 	o = o.withDefaults()
+	jobs := make([]runner.Job, 0, len(fig8Strategies))
+	for _, s := range fig8Strategies {
+		jobs = append(jobs, runner.Job{
+			Name:   fmt.Sprintf("lifetime/%v", s),
+			Config: smallDevice(baseConfig(o, s)),
+			Spec: checkin.RunSpec{
+				Threads:      o.maxThreads(),
+				TotalQueries: o.queries(120_000),
+				Mix:          checkin.WorkloadWO,
+				Zipfian:      true,
+			},
+		})
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "lifetime", Title: "Flash lifetime projection (Equation 1)",
 		Columns: []string{"strategy", "programs", "energy (mJ)", "lifetime (PEC*Top/BEC)", "vs baseline"}}
 	var baseLife float64
-	type res struct {
-		s        checkin.Strategy
-		programs uint64
-		energyMJ float64
-		life     float64
-	}
-	var results []res
-	for _, s := range fig8Strategies {
-		cfg := smallDevice(baseConfig(o, s))
-		db, m, err := runOne(cfg, checkin.RunSpec{
-			Threads:      o.maxThreads(),
-			TotalQueries: o.queries(120_000),
-			Mix:          checkin.WorkloadWO,
-			Zipfian:      true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, s := range fig8Strategies {
+		db, m := rs[i].DB, rs[i].Metrics
+		cfg := db.Config()
 		// In steady state every programmed page eventually costs an
 		// erase, so programs/pagesPerBlock is the effective block erase
 		// count for the (identical) workload — robust to whether the
@@ -282,10 +338,7 @@ func Lifetime(o Opts) (*Table, error) {
 		if s == checkin.StrategyBaseline {
 			baseLife = life
 		}
-		results = append(results, res{s, m.FlashPrograms(), db.FlashEnergyMJ(), life})
-	}
-	for _, r := range results {
-		t.AddRow(r.s.String(), d(r.programs), f1(r.energyMJ), f0(r.life), ratio(r.life/nonzero(baseLife)))
+		t.AddRow(s.String(), d(m.FlashPrograms()), f1(db.FlashEnergyMJ()), f0(life), ratio(life/nonzero(baseLife)))
 	}
 	t.Notes = append(t.Notes, "paper: Check-In ~3.86x baseline, ~1.81x ISC-C")
 	return t, nil
@@ -302,6 +355,26 @@ func nonzero(v float64) float64 {
 // (paper: Check-In cuts p99.9 by ~92% vs baseline).
 func Fig9(o Opts) (*Table, error) {
 	o = o.withDefaults()
+	dists := []bool{false, true}
+	jobs := make([]runner.Job, 0, len(dists)*len(checkin.Strategies))
+	for _, zipf := range dists {
+		for _, s := range checkin.Strategies {
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig9/%s/%v", distName(zipf), s),
+				Config: baseConfig(o, s),
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: o.queries(80_000),
+					Mix:          checkin.WorkloadA,
+					Zipfian:      zipf,
+				},
+			})
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{ID: "fig9", Title: "Tail latency, workload A",
 		Columns: []string{"strategy", "dist", "p99 (µs)", "p99.9 (µs)", "p99.99 (µs)"}}
 	type key struct {
@@ -309,38 +382,21 @@ func Fig9(o Opts) (*Table, error) {
 		zipf bool
 	}
 	p999 := map[key]float64{}
-	for _, zipf := range []bool{false, true} {
-		for _, s := range checkin.Strategies {
-			cfg := baseConfig(o, s)
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: o.queries(80_000),
-				Mix:          checkin.WorkloadA,
-				Zipfian:      zipf,
-			})
-			if err != nil {
-				return nil, err
-			}
-			name := "uniform"
-			if zipf {
-				name = "zipfian"
-			}
+	for zi, zipf := range dists {
+		for si, s := range checkin.Strategies {
+			m := rs[zi*len(checkin.Strategies)+si].Metrics
 			p999[key{s, zipf}] = float64(m.AllLat.Percentile(99.9))
-			t.AddRow(s.String(), name,
+			t.AddRow(s.String(), distName(zipf),
 				f1(float64(m.AllLat.Percentile(99))/1e3),
 				f1(float64(m.AllLat.Percentile(99.9))/1e3),
 				f1(float64(m.AllLat.Percentile(99.99))/1e3))
 		}
 	}
-	for _, zipf := range []bool{false, true} {
-		name := "uniform"
-		if zipf {
-			name = "zipfian"
-		}
+	for _, zipf := range dists {
 		red := 100 * (1 - p999[key{checkin.StrategyCheckIn, zipf}]/
 			nonzero(p999[key{checkin.StrategyBaseline, zipf}]))
 		t.Notes = append(t.Notes,
-			fmt.Sprintf("%s: Check-In reduces p99.9 by %.1f%% vs baseline (paper ~92%%)", name, red))
+			fmt.Sprintf("%s: Check-In reduces p99.9 by %.1f%% vs baseline (paper ~92%%)", distName(zipf), red))
 	}
 	return t, nil
 }
@@ -349,13 +405,8 @@ func Fig9(o Opts) (*Table, error) {
 // five configurations across thread counts.
 func Fig10(o Opts) (*Table, error) {
 	o = o.withDefaults()
-	cols := []string{"strategy"}
-	for _, th := range o.Threads {
-		cols = append(cols, fmt.Sprintf("%dT (ms)", th))
-	}
-	t := &Table{ID: "fig10", Title: "Checkpointing time vs threads (locked)", Columns: cols}
+	jobs := make([]runner.Job, 0, len(checkin.Strategies)*len(o.Threads))
 	for _, s := range checkin.Strategies {
-		row := []string{s.String()}
 		for _, th := range o.Threads {
 			cfg := baseConfig(o, s)
 			cfg.LockDuringCheckpoint = true
@@ -363,15 +414,31 @@ func Fig10(o Opts) (*Table, error) {
 			if mult > 8 {
 				mult = 8
 			}
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      th,
-				TotalQueries: o.queries(8_000) * mult,
-				Mix:          checkin.WorkloadWO,
-				Zipfian:      true,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig10/%v/%dT", s, th),
+				Config: cfg,
+				Spec: checkin.RunSpec{
+					Threads:      th,
+					TotalQueries: o.queries(8_000) * mult,
+					Mix:          checkin.WorkloadWO,
+					Zipfian:      true,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"strategy"}
+	for _, th := range o.Threads {
+		cols = append(cols, fmt.Sprintf("%dT (ms)", th))
+	}
+	t := &Table{ID: "fig10", Title: "Checkpointing time vs threads (locked)", Columns: cols}
+	for si, s := range checkin.Strategies {
+		row := []string{s.String()}
+		for ti := range o.Threads {
+			m := rs[si*len(o.Threads)+ti].Metrics
 			row = append(row, f1(float64(m.MeanCheckpointTime())/1e6))
 		}
 		t.AddRow(row...)
@@ -395,18 +462,23 @@ type fig11Val struct {
 
 var fig11Memo = map[string]map[fig11Key]fig11Val{}
 
+var fig11Mixes = []struct {
+	name string
+	mix  checkin.Mix
+}{{"A", checkin.WorkloadA}, {"F", checkin.WorkloadF}, {"WO", checkin.WorkloadWO}}
+
 func fig11Runs(o Opts) (map[fig11Key]fig11Val, error) {
-	memoKey := fmt.Sprintf("%v/%v/%v", o.Scale, o.Threads, o.Seed)
+	// The memo key includes Parallelism so determinism tests comparing
+	// parallel against sequential execution exercise real runs; the
+	// resulting values are identical either way.
+	memoKey := fmt.Sprintf("%v/%v/%v/%v", o.Scale, o.Threads, o.Seed, o.Parallelism)
 	if m, ok := fig11Memo[memoKey]; ok {
 		return m, nil
 	}
-	out := map[fig11Key]fig11Val{}
-	mixes := []struct {
-		name string
-		mix  checkin.Mix
-	}{{"A", checkin.WorkloadA}, {"F", checkin.WorkloadF}, {"WO", checkin.WorkloadWO}}
+	var jobs []runner.Job
+	var keys []fig11Key
 	for _, s := range checkin.Strategies {
-		for _, mx := range mixes {
+		for _, mx := range fig11Mixes {
 			for _, th := range o.Threads {
 				cfg := baseConfig(o, s)
 				// The paper's 60 s interval keeps checkpointing duty low
@@ -422,20 +494,30 @@ func fig11Runs(o Opts) (map[fig11Key]fig11Val, error) {
 				if mult < 1 {
 					mult = 1
 				}
-				_, m, err := runOne(cfg, checkin.RunSpec{
-					Threads:      th,
-					TotalQueries: o.queries(15_000) * mult,
-					Mix:          mx.mix,
-					Zipfian:      true,
+				jobs = append(jobs, runner.Job{
+					Name:   fmt.Sprintf("fig11/%v/%s/%dT", s, mx.name, th),
+					Config: cfg,
+					Spec: checkin.RunSpec{
+						Threads:      th,
+						TotalQueries: o.queries(15_000) * mult,
+						Mix:          mx.mix,
+						Zipfian:      true,
+					},
 				})
-				if err != nil {
-					return nil, err
-				}
-				out[fig11Key{s, mx.name, th}] = fig11Val{
-					qps:    m.ThroughputQPS(),
-					meanUS: float64(m.MeanLatency()) / 1e3,
-				}
+				keys = append(keys, fig11Key{s, mx.name, th})
 			}
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[fig11Key]fig11Val{}
+	for i, k := range keys {
+		m := rs[i].Metrics
+		out[k] = fig11Val{
+			qps:    m.ThroughputQPS(),
+			meanUS: float64(m.MeanLatency()) / 1e3,
 		}
 	}
 	fig11Memo[memoKey] = out
@@ -492,29 +574,43 @@ func Fig11b(o Opts) (*Table, error) {
 	return t, nil
 }
 
+// fig12Strategies are the two configurations Figure 12 sweeps.
+var fig12Strategies = []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyCheckIn}
+
 // Fig12 sweeps the checkpoint interval for baseline and Check-In (paper:
 // baseline improves with longer intervals; Check-In is flat).
 func Fig12(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	intervals := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
 		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond}
-	t := &Table{ID: "fig12", Title: "Checkpoint-interval sensitivity (workload A, zipfian)",
-		Columns: []string{"interval", "Base kqps", "CI kqps", "Base µs", "CI µs"}}
+	jobs := make([]runner.Job, 0, len(intervals)*len(fig12Strategies))
 	for _, iv := range intervals {
-		var vals [2]fig11Val
-		for i, s := range []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyCheckIn} {
+		for _, s := range fig12Strategies {
 			cfg := baseConfig(o, s)
 			cfg.CheckpointInterval = iv
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: o.queries(150_000),
-				Mix:          checkin.WorkloadA,
-				Zipfian:      true,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig12/%v/%v", iv, s),
+				Config: cfg,
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: o.queries(150_000),
+					Mix:          checkin.WorkloadA,
+					Zipfian:      true,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = fig11Val{qps: m.ThroughputQPS(), meanUS: float64(m.MeanLatency()) / 1e3}
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig12", Title: "Checkpoint-interval sensitivity (workload A, zipfian)",
+		Columns: []string{"interval", "Base kqps", "CI kqps", "Base µs", "CI µs"}}
+	for ii, iv := range intervals {
+		var vals [2]fig11Val
+		for si := range fig12Strategies {
+			m := rs[ii*len(fig12Strategies)+si].Metrics
+			vals[si] = fig11Val{qps: m.ThroughputQPS(), meanUS: float64(m.MeanLatency()) / 1e3}
 		}
 		t.AddRow(iv.String(), f1(vals[0].qps/1e3), f1(vals[1].qps/1e3),
 			f1(vals[0].meanUS), f1(vals[1].meanUS))
@@ -524,17 +620,18 @@ func Fig12(o Opts) (*Table, error) {
 	return t, nil
 }
 
+// fig13Strategies are the two remapping designs Figure 13 compares.
+var fig13Strategies = []checkin.Strategy{checkin.StrategyISCC, checkin.StrategyCheckIn}
+
 // Fig13a sweeps the FTL mapping unit for the remapping designs under mixed
 // record sizes (paper: throughput grows with unit size; Check-In gains
 // more because of higher data reusability).
 func Fig13a(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	units := []int{512, 1024, 2048, 4096}
-	t := &Table{ID: "fig13a", Title: "Throughput vs mapping unit (mixed record sizes)",
-		Columns: []string{"unit (B)", "ISC-C kqps", "Check-In kqps"}}
+	jobs := make([]runner.Job, 0, len(units)*len(fig13Strategies))
 	for _, u := range units {
-		var vals [2]float64
-		for i, s := range []checkin.Strategy{checkin.StrategyISCC, checkin.StrategyCheckIn} {
+		for _, s := range fig13Strategies {
 			cfg := baseConfig(o, s)
 			cfg.MappingUnit = u
 			cfg.Keys = 8_000
@@ -543,16 +640,28 @@ func Fig13a(o Opts) (*Table, error) {
 			// at 512 B units the table exceeds the cache ~4x; at 4 KB
 			// it fits entirely
 			cfg.MapCacheMB = 2
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: o.queries(25_000),
-				Mix:          checkin.WorkloadA,
-				Zipfian:      true,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig13a/%dB/%v", u, s),
+				Config: cfg,
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: o.queries(25_000),
+					Mix:          checkin.WorkloadA,
+					Zipfian:      true,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = m.ThroughputQPS()
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig13a", Title: "Throughput vs mapping unit (mixed record sizes)",
+		Columns: []string{"unit (B)", "ISC-C kqps", "Check-In kqps"}}
+	for ui, u := range units {
+		var vals [2]float64
+		for si := range fig13Strategies {
+			vals[si] = rs[ui*len(fig13Strategies)+si].Metrics.ThroughputQPS()
 		}
 		t.AddRow(d(uint64(u)), f1(vals[0]/1e3), f1(vals[1]/1e3))
 	}
@@ -569,31 +678,42 @@ func Fig13a(o Opts) (*Table, error) {
 func Fig13b(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	patterns := []checkin.Sizer{checkin.PatternP1, checkin.PatternP2, checkin.PatternP3, checkin.PatternP4}
-	t := &Table{ID: "fig13b", Title: "Space overhead: Check-In vs ISC-C (4 KB mapping unit)",
-		Columns: []string{"pattern", "ISC-C journal ovh", "Check-In journal ovh", "device-level delta %"}}
+	jobs := make([]runner.Job, 0, len(patterns)*len(fig13Strategies))
 	for _, pat := range patterns {
-		var journalOvh [2]float64
-		var deviceOvh [2]float64
-		for i, s := range []checkin.Strategy{checkin.StrategyISCC, checkin.StrategyCheckIn} {
+		for _, s := range fig13Strategies {
 			cfg := baseConfig(o, s)
 			cfg.Keys = 8_000
 			cfg.Records = pat
 			cfg.MappingUnit = 4096
 			// compare pure alignment overhead (no compression shrink)
 			cfg.CompressRatio = 1.0
-			_, m, err := runOne(cfg, checkin.RunSpec{
-				Threads:      o.maxThreads(),
-				TotalQueries: o.queries(12_000),
-				Mix:          checkin.WorkloadWO,
-				Zipfian:      true,
+			jobs = append(jobs, runner.Job{
+				Name:   fmt.Sprintf("fig13b/%s/%v", pat.Name(), s),
+				Config: cfg,
+				Spec: checkin.RunSpec{
+					Threads:      o.maxThreads(),
+					TotalQueries: o.queries(12_000),
+					Mix:          checkin.WorkloadWO,
+					Zipfian:      true,
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			journalOvh[i] = m.JournalSpaceOverhead()
+		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "fig13b", Title: "Space overhead: Check-In vs ISC-C (4 KB mapping unit)",
+		Columns: []string{"pattern", "ISC-C journal ovh", "Check-In journal ovh", "device-level delta %"}}
+	for pi, pat := range patterns {
+		var journalOvh [2]float64
+		var deviceOvh [2]float64
+		for si := range fig13Strategies {
+			m := rs[pi*len(fig13Strategies)+si].Metrics
+			journalOvh[si] = m.JournalSpaceOverhead()
 			extra := float64(m.JournalEnd.StoredBytes-m.JournalStart.StoredBytes) -
 				float64(m.JournalEnd.PayloadBytes-m.JournalStart.PayloadBytes)
-			deviceOvh[i] = extra / nonzero(float64(m.HostWriteBytes()))
+			deviceOvh[si] = extra / nonzero(float64(m.HostWriteBytes()))
 		}
 		t.AddRow(pat.Name(), f2(journalOvh[0]), f2(journalOvh[1]),
 			f1(100*(deviceOvh[1]-deviceOvh[0])))

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/runner"
 )
 
 // Opts controls experiment scale. The zero value is replaced by defaults.
@@ -29,6 +31,12 @@ type Opts struct {
 	Threads []int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Parallelism is the number of worker goroutines executing an
+	// experiment's independent runs. 0 selects runtime.NumCPU(); 1 forces
+	// strictly sequential execution. Every run owns a private sim.Engine
+	// and results assemble in submission order, so rendered tables are
+	// byte-identical at any setting.
+	Parallelism int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -79,12 +87,12 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -126,11 +134,15 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 	}
 }
 
+// pad right-pads s to w display columns. Width is counted in runes, not
+// bytes: multi-byte headers such as "µs" previously over-counted and skewed
+// every column to their right.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Experiment is a registered paper artifact generator.
@@ -188,18 +200,11 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	return cfg
 }
 
-// runOne opens, loads and runs a single configuration.
-func runOne(cfg checkin.Config, spec checkin.RunSpec) (*checkin.DB, *checkin.Metrics, error) {
-	db, err := checkin.Open(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	db.Load()
-	m, err := db.Run(spec)
-	if err != nil {
-		return nil, nil, err
-	}
-	return db, m, nil
+// runJobs executes an experiment's independent run points on the worker
+// pool. Results come back in submission order, so assembly loops can index
+// them positionally; any failed run aborts the whole experiment.
+func runJobs(o Opts, jobs []runner.Job) ([]runner.Result, error) {
+	return runner.RunAll(jobs, o.Parallelism)
 }
 
 func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }

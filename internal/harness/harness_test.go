@@ -118,6 +118,44 @@ func TestEveryExperimentRuns(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism renders the same experiments at parallelism 1 and
+// 8 and requires byte-identical output. compare covers trace replay (five
+// runs sharing one recorded trace); fig11a covers the widest sweep
+// (strategies x mixes x threads) including the fig11 memo, whose key
+// includes Parallelism precisely so this test exercises real parallel runs.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep in -short mode")
+	}
+	for _, id := range []string{"compare", "fig11a"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(par int) string {
+				o := tinyOpts()
+				o.Parallelism = par
+				tab, err := exp.Run(o)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				var sb strings.Builder
+				tab.Render(&sb)
+				return sb.String()
+			}
+			seq, par := render(1), render(8)
+			if seq != par {
+				t.Errorf("%s output differs between parallelism 1 and 8:\n--- sequential\n%s\n--- parallel\n%s", id, seq, par)
+			}
+			if !strings.Contains(seq, "==") || len(seq) < 100 {
+				t.Errorf("%s rendered output suspiciously small (vacuous comparison?):\n%s", id, seq)
+			}
+		})
+	}
+}
+
 func TestFig9OrderingAtModestScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("expensive ordering check in -short mode")

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/runner"
 )
 
 // Recovery measures crash-recovery behaviour per configuration (Section
@@ -15,18 +16,30 @@ func Recovery(o Opts) (*Table, error) {
 	o = o.withDefaults()
 	t := &Table{ID: "recovery", Title: "Crash recovery and device SPOR",
 		Columns: []string{"strategy", "logs replayed", "journal KB read", "engine recovery", "SPOR scan", "SPOR mismatches"}}
+	jobs := make([]runner.Job, 0, len(checkin.Strategies))
 	for _, s := range checkin.Strategies {
 		cfg := baseConfig(o, s)
 		cfg.CheckpointInterval = 300 * time.Millisecond
-		db, _, err := runOne(cfg, checkin.RunSpec{
-			Threads:      o.maxThreads(),
-			TotalQueries: o.queries(40_000),
-			Mix:          checkin.WorkloadWO,
-			Zipfian:      true,
+		jobs = append(jobs, runner.Job{
+			Name:   "recovery/" + s.String(),
+			Config: cfg,
+			Spec: checkin.RunSpec{
+				Threads:      o.maxThreads(),
+				TotalQueries: o.queries(40_000),
+				Mix:          checkin.WorkloadWO,
+				Zipfian:      true,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	rs, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	// recovery/SPOR simulation mutates each run's private DB, so it stays in
+	// the sequential assembly phase — the note ordering is part of the
+	// byte-identical output contract
+	for i, s := range checkin.Strategies {
+		db := rs[i].DB
 		rep := db.SimulateRecovery()
 		// validate before reporting: recovery must equal the durable state
 		for k, v := range db.DurableVersions() {

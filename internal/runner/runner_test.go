@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+// tinyJob returns a fast, deterministic run configuration.
+func tinyJob(name string, seed int64) Job {
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = checkin.StrategyCheckIn
+	cfg.Keys = 2_000
+	cfg.BlocksPerPlane = 32
+	cfg.JournalHalfMB = 4
+	cfg.Seed = seed
+	return Job{
+		Name:   name,
+		Config: cfg,
+		Spec: checkin.RunSpec{
+			Threads:      4,
+			TotalQueries: 1_500,
+			Mix:          checkin.WorkloadA,
+			Zipfian:      true,
+		},
+	}
+}
+
+func TestRunOrderingAndDeterminism(t *testing.T) {
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		// distinct seeds so every result is distinguishable: an ordering
+		// bug cannot hide behind identical outputs
+		jobs[i] = tinyJob(fmt.Sprintf("job-%d", i), int64(i+1))
+	}
+
+	seq := Run(jobs, 1)
+	par := Run(jobs, 4)
+	if len(seq) != len(jobs) || len(par) != len(jobs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(seq), len(par), len(jobs))
+	}
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %d errors: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Name != jobs[i].Name || par[i].Name != jobs[i].Name {
+			t.Errorf("job %d name: seq=%q par=%q want %q", i, seq[i].Name, par[i].Name, jobs[i].Name)
+		}
+		// byte-identical summaries prove both ordering and per-run
+		// determinism under concurrency
+		s, p := seq[i].Metrics.Summary(), par[i].Metrics.Summary()
+		if s != p {
+			t.Errorf("job %d metrics diverge between parallelism 1 and 4:\n--- seq\n%s\n--- par\n%s", i, s, p)
+		}
+	}
+	// distinct seeds must actually differ, or the checks above are vacuous
+	if seq[0].Metrics.Summary() == seq[1].Metrics.Summary() {
+		t.Error("different seeds produced identical summaries; determinism check is vacuous")
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	jobs := []Job{tinyJob("good", 1), tinyJob("bad", 2), tinyJob("also-good", 3)}
+	jobs[1].Config.GCPolicy = "bogus-policy" // rejected by checkin.Open
+
+	results, err := RunAll(jobs, 2)
+	if err == nil {
+		t.Fatal("RunAll did not surface the job error")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error %q does not name the failing job", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || results[1].DB != nil || results[1].Metrics != nil {
+		t.Errorf("failed job result not sanitized: %+v", results[1])
+	}
+}
+
+func TestRunPanicContainment(t *testing.T) {
+	orig := execute
+	defer func() { execute = orig }()
+	execute = func(j Job) (*checkin.DB, *checkin.Metrics, error) {
+		if j.Name == "boom" {
+			panic("simulated invariant violation")
+		}
+		return orig(j)
+	}
+
+	jobs := []Job{tinyJob("ok", 1), tinyJob("boom", 2), tinyJob("ok2", 3)}
+	results := Run(jobs, 3)
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %v", results[1].Err)
+	}
+	if !strings.Contains(results[1].Err.Error(), "boom") {
+		t.Errorf("panic error %q does not name the job", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("job %d infected by sibling panic: %v", i, results[i].Err)
+		}
+	}
+}
+
+func TestRunParallelismClamping(t *testing.T) {
+	// more workers than jobs, zero and negative parallelism must all work
+	for _, par := range []int{0, -3, 64} {
+		results := Run([]Job{tinyJob("solo", 1)}, par)
+		if len(results) != 1 || results[0].Err != nil {
+			t.Fatalf("parallelism %d: %+v", par, results)
+		}
+	}
+	if out := Run(nil, 8); len(out) != 0 {
+		t.Fatalf("Run(nil) returned %d results", len(out))
+	}
+}
+
+func TestRunAllNilError(t *testing.T) {
+	results, err := RunAll([]Job{tinyJob("a", 1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var target error = results[0].Err
+	if !errors.Is(target, nil) {
+		t.Fatalf("unexpected error: %v", target)
+	}
+}

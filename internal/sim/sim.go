@@ -20,7 +20,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -61,20 +60,61 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The heap is hand
+// rolled rather than built on container/heap: the interface-based API boxes
+// every event into an `any` on Push/Pop, which made the two calls the
+// largest allocation sites in the whole simulator (~40% of objects on the
+// paper's experiment suite).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the fn reference for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s.less(l, least) {
+			least = l
+		}
+		if r < n && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
+
 func (h eventHeap) nextAt() (VTime, bool) {
 	if len(h) == 0 {
 		return 0, false
@@ -90,18 +130,13 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 
-	// yield is the handshake channel: a running Proc sends on it exactly
-	// once each time it blocks or terminates, returning control to the
-	// engine (or to whichever event woke it).
-	yield chan struct{}
-
 	liveProcs int
 	executed  uint64
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -165,9 +200,19 @@ func (e *Engine) Pending() int { return len(e.events) }
 // A Proc is a cooperative simulated process. All its methods must be called
 // from the process's own goroutine (inside the function passed to Engine.Go).
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
+	eng  *Engine
+	name string
+
+	// hand is the single handshake channel both directions share. Strict
+	// alternation (exactly one of {engine, process} runs at a time) keeps
+	// the pairing unambiguous: whoever is handing control away sends, the
+	// other side is always parked in a receive.
+	hand chan struct{}
+
+	// switchFn caches the switchTo method value so scheduling a wake-up
+	// (Sleep, Wait, Semaphore.Acquire) does not allocate a new closure per
+	// call — these are the hottest scheduling sites in the simulator.
+	switchFn func()
 }
 
 // Name returns the name given at Go time (diagnostics).
@@ -182,14 +227,15 @@ func (p *Proc) Now() VTime { return p.eng.now }
 // Go starts a new process at the current virtual time. The process body runs
 // when the engine reaches the scheduling event; it may call Sleep and Wait.
 func (e *Engine) Go(name string, fn func(p *Proc)) {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p := &Proc{eng: e, name: name, hand: make(chan struct{})}
+	p.switchFn = p.switchTo
 	e.liveProcs++
 	e.Schedule(0, func() {
 		go func() {
-			<-p.resume
+			<-p.hand
 			fn(p)
 			e.liveProcs--
-			e.yield <- struct{}{}
+			p.hand <- struct{}{}
 		}()
 		p.switchTo()
 	})
@@ -198,20 +244,20 @@ func (e *Engine) Go(name string, fn func(p *Proc)) {
 // switchTo transfers control into the process and blocks the caller (which
 // is executing an engine event) until the process blocks or terminates.
 func (p *Proc) switchTo() {
-	p.resume <- struct{}{}
-	<-p.eng.yield
+	p.hand <- struct{}{}
+	<-p.hand
 }
 
 // block parks the process until something calls switchTo on it. The wake-up
 // must already be scheduled before calling block.
 func (p *Proc) block() {
-	p.eng.yield <- struct{}{}
-	<-p.resume
+	p.hand <- struct{}{}
+	<-p.hand
 }
 
 // Sleep suspends the process for d units of virtual time.
 func (p *Proc) Sleep(d VTime) {
-	p.eng.Schedule(d, p.switchTo)
+	p.eng.Schedule(d, p.switchFn)
 	p.block()
 }
 
@@ -221,7 +267,7 @@ func (p *Proc) Wait(f *Future) {
 	if f.done {
 		return
 	}
-	f.waiters = append(f.waiters, p.switchTo)
+	f.addWaiter(p.switchFn)
 	p.block()
 }
 
@@ -235,9 +281,22 @@ func (p *Proc) WaitAll(fs []*Future) {
 // A Future is a one-shot completion signal carrying no value. It is
 // completed at most once, from engine context (an event or a process).
 type Future struct {
-	eng     *Engine
-	done    bool
+	eng  *Engine
+	done bool
+	// w0 holds the first waiter inline: the overwhelming majority of
+	// futures have exactly one waiter, and keeping it out of the slice
+	// avoids a heap allocation per wait.
+	w0      func()
 	waiters []func()
+}
+
+// addWaiter registers fn preserving FIFO wake-up order.
+func (f *Future) addWaiter(fn func()) {
+	if f.w0 == nil {
+		f.w0 = fn
+		return
+	}
+	f.waiters = append(f.waiters, fn)
 }
 
 // NewFuture returns an incomplete future bound to e.
@@ -257,6 +316,10 @@ func (f *Future) Complete() {
 		panic("sim: future completed twice")
 	}
 	f.done = true
+	if f.w0 != nil {
+		f.eng.Schedule(0, f.w0)
+		f.w0 = nil
+	}
 	for _, w := range f.waiters {
 		f.eng.Schedule(0, w)
 	}
@@ -270,26 +333,30 @@ func (f *Future) OnComplete(fn func()) {
 		f.eng.Schedule(0, fn)
 		return
 	}
-	f.waiters = append(f.waiters, fn)
+	f.addWaiter(fn)
 }
 
 // AfterAll returns a future that completes once all fs have completed.
-// With no inputs the result is already complete.
+// With no inputs the result is already complete; with exactly one it is
+// returned directly (no wrapper future or callback needed).
 func AfterAll(e *Engine, fs []*Future) *Future {
-	out := NewFuture(e)
 	n := len(fs)
 	if n == 0 {
-		out.done = true
-		return out
+		return &Future{eng: e, done: true}
 	}
+	if n == 1 {
+		return fs[0]
+	}
+	out := NewFuture(e)
 	remaining := n
+	dec := func() {
+		remaining--
+		if remaining == 0 {
+			out.Complete()
+		}
+	}
 	for _, f := range fs {
-		f.OnComplete(func() {
-			remaining--
-			if remaining == 0 {
-				out.Complete()
-			}
-		})
+		f.OnComplete(dec)
 	}
 	return out
 }
@@ -297,9 +364,14 @@ func AfterAll(e *Engine, fs []*Future) *Future {
 // A Semaphore is a counting semaphore for simulated processes, used to model
 // bounded resources such as command-queue depth.
 type Semaphore struct {
-	eng     *Engine
-	avail   int
+	eng   *Engine
+	avail int
+	// waiters[head:] are the queued acquirers, oldest first. Dequeuing
+	// advances head instead of re-slicing from the front, so the backing
+	// array is reused once the queue drains rather than reallocated on
+	// every wait/wake cycle.
 	waiters []func()
+	head    int
 }
 
 // NewSemaphore returns a semaphore with n initially available permits.
@@ -314,21 +386,21 @@ func NewSemaphore(e *Engine, n int) *Semaphore {
 func (s *Semaphore) Available() int { return s.avail }
 
 // Waiting reports the number of blocked acquirers.
-func (s *Semaphore) Waiting() int { return len(s.waiters) }
+func (s *Semaphore) Waiting() int { return len(s.waiters) - s.head }
 
 // Acquire takes a permit, blocking the process until one is free. FIFO.
 func (s *Semaphore) Acquire(p *Proc) {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.Waiting() == 0 {
 		s.avail--
 		return
 	}
-	s.waiters = append(s.waiters, p.switchTo)
+	s.enqueue(p.switchFn)
 	p.block()
 }
 
 // TryAcquire takes a permit without blocking; reports success.
 func (s *Semaphore) TryAcquire() bool {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.Waiting() == 0 {
 		s.avail--
 		return true
 	}
@@ -337,19 +409,29 @@ func (s *Semaphore) TryAcquire() bool {
 
 // AcquireAsync invokes fn (from engine context) once a permit is granted.
 func (s *Semaphore) AcquireAsync(fn func()) {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.Waiting() == 0 {
 		s.avail--
 		s.eng.Schedule(0, fn)
 		return
+	}
+	s.enqueue(fn)
+}
+
+func (s *Semaphore) enqueue(fn func()) {
+	if s.head == len(s.waiters) {
+		// queue is empty: rewind so the backing array is reused
+		s.waiters = s.waiters[:0]
+		s.head = 0
 	}
 	s.waiters = append(s.waiters, fn)
 }
 
 // Release returns a permit, waking the oldest waiter if any.
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	if s.head < len(s.waiters) {
+		w := s.waiters[s.head]
+		s.waiters[s.head] = nil // release the closure for GC
+		s.head++
 		s.eng.Schedule(0, w)
 		return
 	}
