@@ -30,6 +30,7 @@ import (
 
 	"github.com/checkin-kv/checkin/internal/core"
 	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/inject"
 	"github.com/checkin-kv/checkin/internal/nand"
 	"github.com/checkin-kv/checkin/internal/sim"
 	"github.com/checkin-kv/checkin/internal/ssd"
@@ -183,6 +184,17 @@ type Config struct {
 	// commits, GC victims, wear-level moves) with a bounded ring of this
 	// many events. 0 disables tracing.
 	TraceCapacity int
+
+	// WearDeltaThreshold enables static wear leveling: a leveling move
+	// triggers when the erase-count spread across blocks exceeds this
+	// value. 0 disables leveling (the default).
+	WearDeltaThreshold uint32
+
+	// Injector, when set, threads a crash-injection instrument through
+	// every layer of the stack (engine, controller, FTL). Used by the
+	// crash-consistency verification harness (internal/check); nil in
+	// production.
+	Injector *inject.Injector
 }
 
 // DefaultConfig returns the configuration used by the paper-reproduction
@@ -338,6 +350,8 @@ func Open(cfg Config) (*DB, error) {
 		tracer = trace.New(cfg.TraceCapacity)
 	}
 	fcfg.Tracer = tracer
+	fcfg.Injector = cfg.Injector
+	fcfg.WearDeltaThreshold = cfg.WearDeltaThreshold
 	translation, err := ftl.New(eng, array, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("checkin: %w", err)
@@ -347,6 +361,7 @@ func Open(cfg Config) (*DB, error) {
 	dcfg.QueueDepth = cfg.QueueDepth
 	dcfg.PCIeMBps = cfg.PCIeMBps
 	dcfg.CacheBytes = int64(cfg.DataCacheMB) << 20
+	dcfg.Injector = cfg.Injector
 	device, err := ssd.New(eng, translation, dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("checkin: %w", err)
@@ -364,6 +379,7 @@ func Open(cfg Config) (*DB, error) {
 	ecfg.Tracer = tracer
 	ecfg.HostCacheEntries = cfg.HostCacheEntries
 	ecfg.LockDuringCheckpoint = cfg.LockDuringCheckpoint
+	ecfg.Injector = cfg.Injector
 	ecfg.Seed = cfg.Seed
 	engine, err := core.NewEngine(eng, device, ecfg)
 	if err != nil {

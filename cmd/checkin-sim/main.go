@@ -7,6 +7,8 @@
 //	checkin-sim -strategy Check-In -threads 64 -queries 100000 -workload A
 //	checkin-sim -print-config
 //	checkin-sim -strategy Baseline -recover
+//	checkin-sim -crashpoints -strategy=Check-In -seed=3
+//	checkin-sim -crashpoints -strategy=Check-In -seed=3 -site=journal-commit -hit=17
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/check"
+	"github.com/checkin-kv/checkin/internal/inject"
 )
 
 func main() {
@@ -39,6 +43,9 @@ func main() {
 		printConfig = flag.Bool("print-config", false, "print the resolved configuration and exit")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		crashpoints = flag.Bool("crashpoints", false, "run the crash-point verification harness instead of a benchmark")
+		site        = flag.String("site", "", "crashpoints: injection site name (empty = every site the census finds)")
+		hit         = flag.Int("hit", 0, "crashpoints: 1-based hit index of -site to crash at")
 	)
 	flag.Parse()
 
@@ -71,6 +78,10 @@ func main() {
 	s, err := checkin.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
+	}
+	if *crashpoints {
+		runCrashpoints(s, *seed, *site, *hit)
+		return
 	}
 	var mix checkin.Mix
 	switch *wl {
@@ -185,6 +196,57 @@ func main() {
 			fatal(fmt.Errorf("recovery mismatch: %d keys diverged", len(durable)-ok))
 		}
 	}
+}
+
+// runCrashpoints drives the internal/check differential harness from the
+// CLI. With -site/-hit it reproduces exactly one armed crash — the mode a
+// failing test's repro line invokes. Without them it runs the full matrix
+// for the strategy and seed: a census of every injection site the workload
+// reaches, then sampled armed crashes at each, validating host recovery,
+// device SPOR, and FTL invariants at every crash instant.
+func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int) {
+	opts := check.DefaultOptions()
+	tr, err := check.NewTrace(opts, seed)
+	if err != nil {
+		fatal(err)
+	}
+	if siteName != "" {
+		site, err := inject.ParseSite(siteName)
+		if err != nil {
+			fatal(err)
+		}
+		if hit < 1 {
+			hit = 1
+		}
+		res := check.RunCrash(s, seed, site, hit, tr, opts)
+		fmt.Println(res)
+		if res.Err != nil {
+			os.Exit(1)
+		}
+		if !res.Fired {
+			fatal(fmt.Errorf("site %s never reached hit %d on this trace", site, hit))
+		}
+		return
+	}
+	results, census, err := check.CrashMatrix(s, seed, tr, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("crash-point census (strategy=%s seed=%d):\n", s, seed)
+	for _, st := range inject.Sites() {
+		fmt.Printf("  %-15s %6d hits\n", st, census.RunHits[st])
+	}
+	failures := 0
+	for _, r := range results {
+		fmt.Println(" ", r)
+		if r.Err != nil || !r.Fired {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d of %d crash-point runs failed", failures, len(results)))
+	}
+	fmt.Printf("crashpoints: all %d armed runs validated\n", len(results))
 }
 
 func fatal(err error) {

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/checkin-kv/checkin/internal/fsim"
 	"github.com/checkin-kv/checkin/internal/ftl"
@@ -43,25 +45,31 @@ func buildDevice(e *sim.Engine) (*ssd.Device, error) {
 }
 
 func main() {
-	fmt.Printf("%-13s %10s %10s %12s %12s %12s\n",
+	if err := run(os.Stdout, 8_000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, rewrites int) error {
+	fmt.Fprintf(w, "%-13s %10s %10s %12s %12s %12s\n",
 		"mode", "writes", "ckpts", "ckpt time", "ckpt progs", "energy mJ")
 	for _, mode := range []fsim.Mode{fsim.ModeConventional, fsim.ModeInStorage} {
 		e := sim.NewEngine()
 		dev, err := buildDevice(e)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg := fsim.DefaultConfig()
 		fs, err := fsim.New(e, dev, cfg, mode)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		done := false
 		e.Go("workload", func(p *sim.Proc) {
 			fs.Format(p)
 			// rewrite a working set of blocks, like a database file or
 			// VM image seeing steady in-place updates
-			for i := 0; i < 8000; i++ {
+			for i := 0; i < rewrites; i++ {
 				fs.WriteBlock(p, int64((i*37)%int(fs.Blocks())))
 			}
 			fs.Checkpoint(p)
@@ -71,15 +79,16 @@ func main() {
 			e.RunUntil(e.Now() + 100*sim.Millisecond)
 		}
 		if err := fs.Validate(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		st := fs.Stats()
-		fmt.Printf("%-13s %10d %10d %12v %12d %12.1f\n",
+		fmt.Fprintf(w, "%-13s %10d %10d %12v %12d %12.1f\n",
 			mode, st.BlockWrites, st.Checkpoints, fs.CheckpointTime(),
 			dev.FTL().Stats().ProgramsByTag[ftl.TagCheckpoint],
 			float64(dev.FTL().Array().EnergyNJ())/1e6)
 	}
-	fmt.Println("\nWith 4 KB file blocks on a 4 KB mapping unit, the in-storage")
-	fmt.Println("checkpoint is pure remapping: zero duplicate programs, and the")
-	fmt.Println("checkpoint cost collapses — the paper's generality claim holds.")
+	fmt.Fprintln(w, "\nWith 4 KB file blocks on a 4 KB mapping unit, the in-storage")
+	fmt.Fprintln(w, "checkpoint is pure remapping: zero duplicate programs, and the")
+	fmt.Fprintln(w, "checkpoint cost collapses — the paper's generality claim holds.")
+	return nil
 }

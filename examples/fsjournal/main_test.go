@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFSJournalSmoke runs both journaling modes at reduced scale;
+// fs.Validate inside run is the correctness assertion.
+func TestFSJournalSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 800); err != nil {
+		t.Fatalf("fsjournal example failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"conventional", "in-storage"} {
+		if !strings.Contains(strings.ToLower(out.String()), want) {
+			t.Fatalf("mode %q missing from report:\n%s", want, out.String())
+		}
+	}
+}

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
@@ -20,7 +22,13 @@ func main() {
 	queries := flag.Int64("queries", 100_000, "write queries per run")
 	flag.Parse()
 
-	fmt.Printf("%-9s %10s %10s %10s %10s %12s %9s\n",
+	if err := run(os.Stdout, *queries, 10_000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, queries, keys int64) error {
+	fmt.Fprintf(w, "%-9s %10s %10s %10s %10s %12s %9s\n",
 		"strategy", "programs", "redundant", "gc", "reclaims", "rel.lifetime", "kqps")
 
 	var basePrograms float64
@@ -28,23 +36,23 @@ func main() {
 		cfg := checkin.DefaultConfig()
 		cfg.Strategy = s
 		cfg.BlocksPerPlane = 16 // 64 MB raw device: GC becomes visible fast
-		cfg.Keys = 10_000
+		cfg.Keys = keys
 		cfg.JournalHalfMB = 4
 		cfg.CheckpointInterval = 300 * time.Millisecond
 
 		db, err := checkin.Open(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		db.Load()
 		m, err := db.Run(checkin.RunSpec{
 			Threads:      32,
-			TotalQueries: *queries,
+			TotalQueries: queries,
 			Mix:          checkin.WorkloadWO,
 			Zipfian:      true,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 
 		programs := float64(m.FlashPrograms())
@@ -56,12 +64,13 @@ func main() {
 		if programs > 0 {
 			rel = basePrograms / programs
 		}
-		fmt.Printf("%-9v %10d %10d %10d %10d %11.2fx %9.1f\n",
+		fmt.Fprintf(w, "%-9v %10d %10d %10d %10d %11.2fx %9.1f\n",
 			s, m.FlashPrograms(), m.RedundantWrites(), m.GCCount(), m.Reclaims(),
 			rel, m.ThroughputQPS()/1e3)
 	}
 
-	fmt.Println("\nEvery flash program eventually costs a P/E cycle. Check-In's remap")
-	fmt.Println("checkpoint removes the duplicate writes, so the same query stream")
-	fmt.Println("consumes a fraction of the erase budget (paper: ~3.9x the lifetime).")
+	fmt.Fprintln(w, "\nEvery flash program eventually costs a P/E cycle. Check-In's remap")
+	fmt.Fprintln(w, "checkpoint removes the duplicate writes, so the same query stream")
+	fmt.Fprintln(w, "consumes a fraction of the erase budget (paper: ~3.9x the lifetime).")
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLifetimeSmoke runs all five strategies through the small-device
+// write-only workload at reduced scale and checks every strategy reported
+// a row.
+func TestLifetimeSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 8_000, 2_000); err != nil {
+		t.Fatalf("lifetime example failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"Baseline", "ISC-A", "ISC-B", "ISC-C", "Check-In"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("strategy %s missing from report:\n%s", want, out.String())
+		}
+	}
+}

@@ -6,42 +6,50 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
 )
 
 func main() {
+	if err := run(os.Stdout, 20_000, 16, 30_000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, keys int64, threads int, queries int64) error {
 	// The default configuration is a 512 MB simulated flash device running
 	// the full Check-In stack: sector-aligned journaling plus in-storage
 	// checkpointing by FTL remap.
 	cfg := checkin.DefaultConfig()
 	cfg.Strategy = checkin.StrategyCheckIn
-	cfg.Keys = 20_000
+	cfg.Keys = keys
 	cfg.CheckpointInterval = 200 * time.Millisecond
 
 	db, err := checkin.Open(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("loading records...")
+	fmt.Fprintln(w, "loading records...")
 	db.Load()
 
-	fmt.Println("running 30k YCSB-A queries on 16 client threads...")
+	fmt.Fprintf(w, "running %d YCSB-A queries on %d client threads...\n", queries, threads)
 	m, err := db.Run(checkin.RunSpec{
-		Threads:      16,
-		TotalQueries: 30_000,
+		Threads:      threads,
+		TotalQueries: queries,
 		Mix:          checkin.WorkloadA,
 		Zipfian:      true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println()
-	fmt.Print(m.Summary())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, m.Summary())
 
 	// Simulate pulling the plug right now: everything volatile is lost;
 	// a restarted instance rebuilds from the last checkpoint plus the
@@ -54,10 +62,11 @@ func main() {
 			mismatches++
 		}
 	}
-	fmt.Printf("\ncrash recovery: %d logs replayed in %v, %d/%d keys match the durable state\n",
+	fmt.Fprintf(w, "\ncrash recovery: %d logs replayed in %v, %d/%d keys match the durable state\n",
 		rep.ReplayedLogs, rep.RecoveryTime, len(durable)-mismatches, len(durable))
 	if mismatches > 0 {
-		log.Fatalf("recovery diverged on %d keys", mismatches)
+		return fmt.Errorf("recovery diverged on %d keys", mismatches)
 	}
-	fmt.Println("recovery OK — no committed update was lost")
+	fmt.Fprintln(w, "recovery OK — no committed update was lost")
+	return nil
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example end to end at reduced scale: the
+// recovery check at the end is a real assertion, so a pass means the full
+// open → load → run → crash-recover path works.
+func TestQuickstartSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2_000, 4, 2_500); err != nil {
+		t.Fatalf("quickstart failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recovery OK") {
+		t.Fatalf("missing recovery verdict in output:\n%s", out.String())
+	}
+}

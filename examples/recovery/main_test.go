@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecoverySmoke runs all three crash scenarios at 1/16 scale; the
+// per-scenario recovery comparison is a hard assertion inside run.
+func TestRecoverySmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2_000, 16); err != nil {
+		t.Fatalf("recovery example failed: %v\noutput:\n%s", err, out.String())
+	}
+	if n := strings.Count(out.String(), "every committed update recovered"); n != 3 {
+		t.Fatalf("expected 3 recovered scenarios, saw %d:\n%s", n, out.String())
+	}
+}

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
@@ -21,6 +23,14 @@ func main() {
 	queries := flag.Int64("queries", 60_000, "queries per run")
 	flag.Parse()
 
+	if err := run(os.Stdout, *threads, *queries, 0); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the comparison matrix; keys == 0 keeps the default record
+// population.
+func run(w io.Writer, threads int, queries, keys int64) error {
 	workloads := []struct {
 		name string
 		mix  checkin.Mix
@@ -31,28 +41,31 @@ func main() {
 	}
 	strategies := []checkin.Strategy{checkin.StrategyBaseline, checkin.StrategyCheckIn}
 
-	fmt.Printf("%-14s %-9s %10s %12s %12s %12s\n",
+	fmt.Fprintf(w, "%-14s %-9s %10s %12s %12s %12s\n",
 		"workload", "strategy", "kqps", "mean µs", "p99.9 µs", "ckpt ms")
 	for _, wl := range workloads {
 		for _, s := range strategies {
 			cfg := checkin.DefaultConfig()
 			cfg.Strategy = s
 			cfg.CheckpointInterval = 500 * time.Millisecond
+			if keys > 0 {
+				cfg.Keys = keys
+			}
 			db, err := checkin.Open(cfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			db.Load()
 			m, err := db.Run(checkin.RunSpec{
-				Threads:      *threads,
-				TotalQueries: *queries,
+				Threads:      threads,
+				TotalQueries: queries,
 				Mix:          wl.mix,
 				Zipfian:      true,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%-14s %-9v %10.1f %12.1f %12.1f %12.1f\n",
+			fmt.Fprintf(w, "%-14s %-9v %10.1f %12.1f %12.1f %12.1f\n",
 				wl.name, s,
 				m.ThroughputQPS()/1e3,
 				float64(m.MeanLatency())/1e3,
@@ -60,6 +73,7 @@ func main() {
 				float64(m.MeanCheckpointTime())/1e6)
 		}
 	}
-	fmt.Println("\nCheck-In's advantage concentrates in the tail: the remap checkpoint")
-	fmt.Println("does (almost) no flash writes, so queries never queue behind a burst.")
+	fmt.Fprintln(w, "\nCheck-In's advantage concentrates in the tail: the remap checkpoint")
+	fmt.Fprintln(w, "does (almost) no flash writes, so queries never queue behind a burst.")
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestYCSBSmoke runs the 3-workload × 2-strategy comparison at reduced
+// scale and checks every row printed.
+func TestYCSBSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 4, 3_000, 2_000); err != nil {
+		t.Fatalf("ycsb example failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"A (50r/50u)", "F (50r/50rmw)", "WO (100u)"} {
+		if strings.Count(out.String(), want) != 2 { // Baseline + Check-In
+			t.Fatalf("workload %q missing rows:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package check is the crash-consistency verification subsystem: a
+// model-based oracle, a crash-point fault injector, and a differential
+// harness that together assert the five checkpointing strategies are
+// *correct* — equal recovered state after a crash at any instrumented
+// point — and only differ in cost.
+//
+// The pieces:
+//
+//   - Model: a plain in-memory map of per-key committed versions, updated
+//     from the journal's commit hook the instant a group commit becomes
+//     durable. At any moment it is the ground truth for what recovery must
+//     reproduce (the "committed prefix" of the operation stream).
+//
+//   - Census: a run with a counting-only injector records how many times
+//     each inject.Site fires on a given (strategy, seed, trace). The
+//     simulation is deterministic, so the census is a complete schedule of
+//     crashable instants.
+//
+//   - CrashMatrix: for every site the census saw, re-run the same trace
+//     with the injector armed to crash at chosen hits. At the crash instant
+//     (deferred to an immediate scheduler slot so mid-event call chains
+//     have restored their invariants) the harness validates:
+//
+//     1. host recovery — Engine.RecoveredVersions() (checkpoint + committed
+//     journal replay) equals the model's committed versions, exactly;
+//     2. device SPOR — ftl.VerifySPOR() rebuilds the mapping table from
+//     OOB records with zero mismatches (volatile write-buffer loss is
+//     reported separately and is legal);
+//     3. FTL invariants — ftl.CheckInvariants() (refcount consistency,
+//     LSN→slot bijection, valid-page and free-pool accounting).
+//
+// Every failure carries (strategy, seed, site, hit): re-arming the same
+// injector on the same seed reproduces it exactly.
+package check
+
+import (
+	"fmt"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/workload"
+)
+
+// Model is the reference oracle: per-key committed versions, maintained
+// from the journal commit hook. After Load every key is at version 1; each
+// committed update/delete advances its key.
+type Model struct {
+	committed []int64
+}
+
+// NewModel returns a model for a population of keys, all at version 0
+// (not yet loaded).
+func NewModel(keys int64) *Model {
+	return &Model{committed: make([]int64, keys)}
+}
+
+// Loaded marks the whole population at version 1 (the bulk-load phase).
+func (m *Model) Loaded() {
+	for k := range m.committed {
+		m.committed[k] = 1
+	}
+}
+
+// Commit records that (key, version) became durable. Versions are
+// monotonic per key, but group commits of different keys may interleave.
+func (m *Model) Commit(key, version int64) {
+	if version > m.committed[key] {
+		m.committed[key] = version
+	}
+}
+
+// Committed returns the per-key committed versions (the live slice — do
+// not mutate).
+func (m *Model) Committed() []int64 { return m.committed }
+
+// Options scales the verification workload. The zero value is unusable;
+// start from DefaultOptions.
+type Options struct {
+	Keys    int64
+	Ops     int
+	Threads int
+	// CrashesPerSite bounds how many distinct hits of each site are
+	// crash-tested per (strategy, seed).
+	CrashesPerSite int
+}
+
+// DefaultOptions is sized so one (strategy, seed) matrix — census plus all
+// armed runs — completes in well under a second of wall clock while still
+// driving group commits, checkpoints on both the periodic and soft
+// triggers, journal deallocation, foreground/background GC, metadata
+// flushes and wear leveling.
+func DefaultOptions() Options {
+	return Options{Keys: 1500, Ops: 3000, Threads: 4, CrashesPerSite: 2}
+}
+
+// Mix is the verification workload: write-heavy so the journal and
+// checkpoint paths dominate, with deletes so tombstones ride along.
+var Mix = workload.Mix{ReadPct: 25, UpdatePct: 60, RMWPct: 10, DeletePct: 5}
+
+// sizer spans the interesting log classes at the 512-byte remap unit:
+// sub-unit logs (padded / merged partials), exactly-unit logs, and
+// larger-than-unit logs (compressed FULL).
+func sizer() checkin.Sizer {
+	return checkin.MixedRecords("check-mix",
+		[]int{96, 180, 256, 480, 512, 1100, 1900},
+		[]int{2, 2, 2, 2, 1, 1, 1})
+}
+
+// NewTrace records the operation stream for one seed. All strategies and
+// all crash runs of that seed replay this byte-identical trace.
+func NewTrace(opts Options, seed int64) (*checkin.Trace, error) {
+	return checkin.RecordWorkload(opts.Keys, sizer(), Mix, true, opts.Ops, seed)
+}
+
+// Build opens a reduced-scale DB for strategy with the given injector
+// threaded through every layer, and installs a fresh Model on the commit
+// hook. The flash geometry is small enough (16 MB raw) that the trace
+// forces garbage collection and metadata flushes.
+func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Injector) (*checkin.DB, *Model, error) {
+	cfg := checkin.DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.Seed = seed
+	cfg.Channels = 2
+	cfg.DiesPerChannel = 2
+	cfg.PlanesPerDie = 1
+	cfg.BlocksPerPlane = 32
+	cfg.PagesPerBlock = 32
+	cfg.PageSizeBytes = 4096
+	cfg.Keys = opts.Keys
+	cfg.Records = sizer()
+	cfg.JournalHalfMB = 1
+	cfg.CheckpointInterval = 25 * time.Millisecond
+	cfg.DataCacheMB = 1
+	cfg.WearDeltaThreshold = 3
+	cfg.Injector = inj
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := NewModel(opts.Keys)
+	db.Engine().SetCommitHook(model.Commit)
+	return db, model, nil
+}
+
+// Validate performs the three crash-point checks against db's current
+// state. It is pure — callable from inside a simulation event.
+func Validate(db *checkin.DB, model *Model) error {
+	recovered := db.Engine().RecoveredVersions()
+	want := model.Committed()
+	diffs := 0
+	var first string
+	for k := range want {
+		if recovered[k] != want[k] {
+			if diffs == 0 {
+				first = fmt.Sprintf("key %d: recovered version %d, model committed %d", k, recovered[k], want[k])
+			}
+			diffs++
+		}
+	}
+	if diffs > 0 {
+		return fmt.Errorf("host recovery diverges from reference model at %d keys (first: %s)", diffs, first)
+	}
+	if rep := db.Engine().Device().FTL().VerifySPOR(); rep.Mismatches != 0 {
+		return fmt.Errorf("device SPOR rebuild lost durable state: %s", rep)
+	}
+	if err := db.Engine().Device().FTL().CheckInvariants(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// replay runs the recorded trace to completion.
+func replay(db *checkin.DB, tr *checkin.Trace, opts Options) error {
+	_, err := db.Run(checkin.RunSpec{
+		Threads:      opts.Threads,
+		TotalQueries: int64(len(tr.Ops)),
+		Trace:        tr,
+	})
+	return err
+}
+
+// Census is the per-site hit schedule of one (strategy, seed, trace): how
+// many times each site fired during the measured run (load-phase hits
+// excluded — crashes are only armed after Load).
+type Census struct {
+	RunHits [inject.NumSites]int
+}
+
+// RunCensus replays the trace under a counting-only injector. The final
+// state is also validated (a crash-free run must trivially pass) and the
+// model returned for the equivalence check.
+func RunCensus(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options) (*Census, *Model, *checkin.DB, error) {
+	inj := inject.New()
+	db, model, err := Build(strategy, seed, opts, inj)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db.Load()
+	model.Loaded()
+	loadHits := inj.Counts()
+	if err := replay(db, tr, opts); err != nil {
+		return nil, nil, nil, err
+	}
+	c := &Census{}
+	for i, n := range inj.Counts() {
+		c.RunHits[i] = n - loadHits[i]
+	}
+	if err := Validate(db, model); err != nil {
+		return nil, nil, nil, fmt.Errorf("crash-free run failed validation (strategy=%s seed=%d): %w", strategy, seed, err)
+	}
+	return c, model, db, nil
+}
+
+// CrashResult is the outcome of one armed run.
+type CrashResult struct {
+	Strategy checkin.Strategy
+	Seed     int64
+	Site     inject.Site
+	Hit      int // 1-based hit index within the measured run
+	Fired    bool
+	Err      error
+}
+
+// Repro renders the one-command reproduction line.
+func (r CrashResult) Repro() string {
+	return fmt.Sprintf("checkin-sim -crashpoints -strategy=%s -seed=%d -site=%s -hit=%d",
+		r.Strategy, r.Seed, r.Site, r.Hit)
+}
+
+func (r CrashResult) String() string {
+	status := "ok"
+	switch {
+	case !r.Fired:
+		status = "site did not fire"
+	case r.Err != nil:
+		status = "FAIL: " + r.Err.Error()
+	}
+	return fmt.Sprintf("(seed=%d, site=%s#%d, strategy=%s): %s", r.Seed, r.Site, r.Hit, r.Strategy, status)
+}
+
+// RunCrash replays the trace with a crash armed at the hit-th firing of
+// site after Load (hit is 1-based). At the crash instant the full state
+// validation runs; the simulation then continues to completion so the
+// armed run's hit counting stays comparable to the census.
+func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, tr *checkin.Trace, opts Options) CrashResult {
+	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit}
+	inj := inject.New()
+	db, model, err := Build(strategy, seed, opts, inj)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	db.Load()
+	model.Loaded()
+	eng := db.Engine().Sim()
+	inj.Arm(site, hit-1,
+		func(fire func()) { eng.Schedule(0, fire) },
+		func(s inject.Site, n int) {
+			if err := Validate(db, model); err != nil {
+				res.Err = fmt.Errorf("%s: %w", res.Repro(), err)
+			}
+		})
+	if err := replay(db, tr, opts); err != nil {
+		res.Err = err
+		return res
+	}
+	_, _, res.Fired = inj.Fired()
+	return res
+}
+
+// CrashMatrix runs the full schedule for one (strategy, seed): a census,
+// then up to CrashesPerSite armed runs per site that fired, sampling hits
+// evenly across each site's schedule (first, middle, last...). The census
+// is returned so callers can assert site coverage.
+func CrashMatrix(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options) ([]CrashResult, *Census, error) {
+	census, _, _, err := RunCensus(strategy, seed, tr, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []CrashResult
+	for _, site := range inject.Sites() {
+		n := census.RunHits[site]
+		if n == 0 {
+			continue
+		}
+		for _, hit := range sampleHits(n, opts.CrashesPerSite) {
+			results = append(results, RunCrash(strategy, seed, site, hit, tr, opts))
+		}
+	}
+	return results, census, nil
+}
+
+// sampleHits picks up to k distinct 1-based hit indexes spread over [1, n]:
+// always the first and last firing, with the rest evenly between.
+func sampleHits(n, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	if k == 1 {
+		return []int{(n + 1) / 2}
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool)
+	for i := 0; i < k; i++ {
+		h := 1 + i*(n-1)/(k-1)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// FinalVersions replays the trace crash-free and returns the final
+// in-memory per-key versions — the cross-strategy equivalence signature
+// (every strategy must produce the identical vector for one trace).
+func FinalVersions(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options) ([]int64, error) {
+	_, _, db, err := RunCensus(strategy, seed, tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.Engine().InMemoryVersions(), nil
+}

@@ -1,0 +1,192 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/inject"
+)
+
+// matrixSeeds are the seeds the CI crash matrix covers (acceptance
+// criterion: every fired site × all five strategies × ≥ 3 seeds).
+var matrixSeeds = []int64{1, 2, 3}
+
+// TestCrashMatrix is the differential crash-consistency net: for every
+// strategy and seed, census the injection schedule, then crash at sampled
+// hits of every site that fired and assert (1) host recovery equals the
+// reference model's committed prefix, (2) the device SPOR rebuild loses no
+// durable state, (3) the FTL invariants hold. Any failure prints a
+// (seed, site, strategy) line that reproduces it in one command.
+func TestCrashMatrix(t *testing.T) {
+	opts := DefaultOptions()
+	for _, seed := range matrixSeeds {
+		tr, err := NewTrace(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range checkin.Strategies {
+			s, seed, tr := s, seed, tr
+			t.Run(fmt.Sprintf("%s/seed%d", s, seed), func(t *testing.T) {
+				results, census, err := CrashMatrix(s, seed, tr, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(results) == 0 {
+					t.Fatal("matrix produced no crash runs")
+				}
+				for _, r := range results {
+					if !r.Fired {
+						t.Errorf("%s — armed crash never fired (census drifted?)", r)
+					}
+					if r.Err != nil {
+						t.Errorf("%s\n  reproduce: %s", r, r.Repro())
+					}
+				}
+				assertCoverage(t, s, census)
+			})
+		}
+	}
+}
+
+// assertCoverage pins down which sites each strategy must exercise, so a
+// refactor that silently stops hitting a crash point fails loudly. The
+// wear-level site is covered at the FTL layer (TestWearLevelCrashConsistency
+// in internal/ftl): the full-stack workload rarely reaches an idle window.
+func assertCoverage(t *testing.T, s checkin.Strategy, c *Census) {
+	t.Helper()
+	want := []inject.Site{
+		inject.SiteJournalAppend,
+		inject.SiteJournalCommit,
+		inject.SiteCheckpointCut,
+		inject.SiteCheckpointApply,
+		inject.SiteDeallocate,
+		inject.SiteMetaFlush,
+		inject.SiteGCMigrate,
+	}
+	switch s {
+	case checkin.StrategyISCA, checkin.StrategyISCB:
+		want = append(want, inject.SiteCheckpointCopy)
+	case checkin.StrategyISCC, checkin.StrategyCheckIn:
+		want = append(want, inject.SiteCheckpointRemap)
+	}
+	for _, site := range want {
+		if c.RunHits[site] == 0 {
+			t.Errorf("strategy %s never hit site %s — crash coverage lost", s, site)
+		}
+	}
+}
+
+// TestStrategyEquivalence replays one byte-identical YCSB-A trace on all
+// five configurations and asserts they converge to the identical final
+// key/value state — the cross-strategy differential check (semantic drift
+// between strategies, not just crash bugs).
+func TestStrategyEquivalence(t *testing.T) {
+	opts := DefaultOptions()
+	tr, err := checkin.RecordWorkload(opts.Keys, sizer(), checkin.WorkloadA, true, opts.Ops, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []int64
+	var refStrategy checkin.Strategy
+	for _, s := range checkin.Strategies {
+		got, err := FinalVersions(s, 7, tr, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if ref == nil {
+			ref, refStrategy = got, s
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			diffs := 0
+			first := ""
+			for k := range ref {
+				if ref[k] != got[k] {
+					if diffs == 0 {
+						first = fmt.Sprintf("key %d: %s=v%d, %s=v%d", k, refStrategy, ref[k], s, got[k])
+					}
+					diffs++
+				}
+			}
+			t.Errorf("%s diverges from %s at %d keys (first: %s)", s, refStrategy, diffs, first)
+		}
+	}
+}
+
+// TestCrashFreeValidationAllStrategies: with no crash armed, the census
+// run itself must pass the full validation (it does, inside RunCensus) and
+// the model must agree with the engine's own durable-version accounting.
+func TestCrashFreeValidationAllStrategies(t *testing.T) {
+	opts := DefaultOptions()
+	tr, err := NewTrace(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range checkin.Strategies {
+		_, model, db, err := RunCensus(s, 5, tr, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		durable := db.DurableVersions()
+		for k := range durable {
+			if model.Committed()[k] != durable[k] {
+				t.Fatalf("%s: model committed v%d != engine durable v%d at key %d",
+					s, model.Committed()[k], durable[k], k)
+			}
+		}
+	}
+}
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel(3)
+	if got := m.Committed(); got[0] != 0 || got[2] != 0 {
+		t.Fatal("fresh model not at version 0")
+	}
+	m.Loaded()
+	m.Commit(1, 5)
+	m.Commit(1, 4) // stale commit must not regress
+	want := []int64{1, 5, 1}
+	if !reflect.DeepEqual(m.Committed(), want) {
+		t.Fatalf("model = %v, want %v", m.Committed(), want)
+	}
+}
+
+func TestSampleHits(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []int
+	}{
+		{0, 2, []int{}},
+		{1, 2, []int{1}},
+		{2, 2, []int{1, 2}},
+		{5, 2, []int{1, 5}},
+		{10, 3, []int{1, 5, 10}},
+		{7, 1, []int{4}},
+	}
+	for _, c := range cases {
+		got := sampleHits(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("sampleHits(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("sampleHits(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestCrashResultRepro(t *testing.T) {
+	r := CrashResult{Strategy: checkin.StrategyCheckIn, Seed: 3, Site: inject.SiteJournalCommit, Hit: 17}
+	repro := r.Repro()
+	for _, part := range []string{"-crashpoints", "-strategy=Check-In", "-seed=3", "-site=journal-commit", "-hit=17"} {
+		if !strings.Contains(repro, part) {
+			t.Errorf("repro line %q missing %q", repro, part)
+		}
+	}
+}

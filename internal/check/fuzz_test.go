@@ -1,0 +1,65 @@
+package check
+
+import (
+	"sync"
+	"testing"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/inject"
+)
+
+// fuzzOptions is smaller than DefaultOptions so each fuzz execution stays
+// in the low tens of milliseconds; the workload still crosses group
+// commits, checkpoints and journal deallocation.
+func fuzzOptions() Options {
+	return Options{Keys: 400, Ops: 700, Threads: 2, CrashesPerSite: 1}
+}
+
+// fuzzTraces memoizes the recorded trace per seed: the fuzzer revisits
+// seeds constantly and trace recording is the expensive part.
+var fuzzTraces sync.Map // int64 -> *checkin.Trace
+
+func fuzzTrace(t *testing.T, seed int64) *checkin.Trace {
+	if tr, ok := fuzzTraces.Load(seed); ok {
+		return tr.(*checkin.Trace)
+	}
+	tr, err := NewTrace(fuzzOptions(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzTraces.Store(seed, tr)
+	return tr
+}
+
+// FuzzJournalRecovery lets the fuzzer steer the crash schedule directly:
+// it picks (seed, strategy, site, hit) and the harness crashes at that
+// instant, then asserts host recovery equals the reference model, the
+// device SPOR rebuild is lossless, and the FTL invariants hold. Unlike
+// the deterministic matrix (which samples a few hits per site), the
+// fuzzer walks arbitrary hit offsets and seed/strategy corners. A chosen
+// hit past the site's schedule simply never fires — that is not a
+// failure, the run still validates crash-free at the end via RunCrash's
+// replay path.
+func FuzzJournalRecovery(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(inject.SiteJournalCommit), uint8(3))
+	f.Add(int64(2), uint8(0), uint8(inject.SiteJournalAppend), uint8(40))
+	f.Add(int64(3), uint8(3), uint8(inject.SiteCheckpointRemap), uint8(1))
+	f.Add(int64(5), uint8(1), uint8(inject.SiteCheckpointCopy), uint8(2))
+	f.Add(int64(7), uint8(2), uint8(inject.SiteDeallocate), uint8(5))
+	f.Add(int64(11), uint8(4), uint8(inject.SiteMetaFlush), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, strategyB, siteB, hitB uint8) {
+		if seed < 0 {
+			seed = -seed
+		}
+		seed = seed%64 + 1 // bound the trace cache
+		strategy := checkin.Strategies[int(strategyB)%len(checkin.Strategies)]
+		site := inject.Site(int(siteB) % int(inject.NumSites))
+		hit := int(hitB)%200 + 1
+		opts := fuzzOptions()
+		tr := fuzzTrace(t, seed)
+		res := RunCrash(strategy, seed, site, hit, tr, opts)
+		if res.Err != nil {
+			t.Fatalf("%s\n  reproduce: %s", res, res.Repro())
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/checkin-kv/checkin/internal/inject"
 	"github.com/checkin-kv/checkin/internal/sim"
 	"github.com/checkin-kv/checkin/internal/ssd"
 	"github.com/checkin-kv/checkin/internal/stats"
@@ -62,6 +63,11 @@ type Config struct {
 
 	// Tracer, when non-nil, receives checkpoint and journal events.
 	Tracer *trace.Tracer
+
+	// Injector, when set, receives crash-injection hits at the engine-level
+	// sites (journal append/commit, checkpoint cut/apply). Nil in
+	// production.
+	Injector *inject.Injector
 
 	// AdaptiveLiveBudget, when positive, adds a bounded-work checkpoint
 	// policy on top of the periodic interval: a checkpoint triggers as
@@ -190,6 +196,7 @@ func NewEngine(eng *sim.Engine, dev *ssd.Device, cfg Config) (*Engine, error) {
 	}
 	en.jr = newJournal(eng, dev, layout, cfg.Strategy.SectorAligned(), header, cfg.CompressRatio)
 	en.jr.tracer = cfg.Tracer
+	en.jr.injector = cfg.Injector
 	if cfg.HostCacheEntries > 0 {
 		en.hostCache = newKeyLRU(cfg.HostCacheEntries)
 	}
@@ -214,6 +221,12 @@ func (en *Engine) JournalStats() JournalStats { return en.jr.Stats() }
 
 // RemapTotals returns accumulated remap results across checkpoints.
 func (en *Engine) RemapTotals() ssd.RemapStats { return en.remapTotals }
+
+// SetCommitHook installs fn to observe every journal log the instant its
+// group commit becomes durable (before the waiting client wakes). The
+// crash-consistency reference model (internal/check) uses it to track the
+// committed prefix.
+func (en *Engine) SetCommitHook(fn func(key, version int64)) { en.jr.onCommit = fn }
 
 // ---------------------------------------------------------------------------
 // load phase
@@ -387,12 +400,20 @@ func (en *Engine) TriggerCheckpoint() *sim.Future {
 	}
 	en.eng.Go("checkpoint", func(p *sim.Proc) {
 		start := p.Now()
+		// Publish the snapshot BEFORE the cut: CutForCheckpoint rotates the
+		// active JMT synchronously but then yields waiting for the old
+		// half's tail flush, and during those waits the old half's
+		// committed logs must stay visible to Get() and to recovery — they
+		// are the newest durable versions until the checkpoint applies.
+		// (Assigning the snapshot only after the cut returned left a window
+		// where they were invisible to both; the ckpt-cut injection site
+		// caught it.)
+		en.ckptSnapshot = en.jr.JMT()
 		snap := en.jr.CutForCheckpoint(p)
 		en.cfg.Tracer.Emit(start, trace.KindCheckpointBegin, int64(snap.jmt.Live()),
 			fmt.Sprintf("entries=%d used=%dKB", snap.jmt.Len(), snap.used>>10))
 		en.metrics.noteLiveRatio(snap.jmt.LiveRatio())
 		if snap.jmt.Live() > 0 {
-			en.ckptSnapshot = snap.jmt
 			en.ckpt.Run(p, en, snap)
 			// apply: the data area now holds the checkpointed versions
 			for _, e := range snap.jmt.Entries() {
@@ -400,13 +421,14 @@ func (en *Engine) TriggerCheckpoint() *sim.Future {
 					en.ckpted[e.key] = e.version
 				}
 			}
+			en.cfg.Injector.Hit(inject.SiteCheckpointApply)
 			// the journal half is no longer needed: deallocate it
 			if snap.used > 0 {
 				trimLen := roundUp(snap.used, int64(en.dev.FTL().UnitSize()))
 				p.Wait(en.dev.Deallocate(en.layout.JournalStart(snap.half), trimLen))
 			}
-			en.ckptSnapshot = nil
 		}
+		en.ckptSnapshot = nil
 		en.metrics.noteCheckpoint(p.Now() - start)
 		en.cfg.Tracer.Emit(p.Now(), trace.KindCheckpointEnd, int64(p.Now()-start), "")
 		en.ckptRunning = false
@@ -631,12 +653,11 @@ type RecoveryReport struct {
 	JournalBytesRead int64
 }
 
-// SimulateRecovery models a crash at the current instant: all volatile
-// state (memtable, uncommitted logs) is lost; the data structure is rebuilt
-// from the last checkpoint plus committed journal logs (Section III-G).
-// The engine itself is left untouched — the report is what a restarted
-// instance would reconstruct.
-func (en *Engine) SimulateRecovery() *RecoveryReport {
+// recoverReport is the pure core of SimulateRecovery: what a restarted
+// instance would reconstruct from the last checkpoint plus committed journal
+// logs, with no simulated time charged. Safe to call from inside an engine
+// event (the crash-injection harness does).
+func (en *Engine) recoverReport() *RecoveryReport {
 	rep := &RecoveryReport{Recovered: make([]int64, en.cfg.Keys)}
 	copy(rep.Recovered, en.ckpted)
 	for k := range rep.Recovered {
@@ -663,6 +684,22 @@ func (en *Engine) SimulateRecovery() *RecoveryReport {
 	// deallocate lands, so both tables replay.
 	replay(en.ckptSnapshot)
 	replay(en.jr.JMT())
+	return rep
+}
+
+// RecoveredVersions returns the per-key versions a crash at the current
+// instant would recover to (host replay), without modeling recovery time.
+func (en *Engine) RecoveredVersions() []int64 {
+	return en.recoverReport().Recovered
+}
+
+// SimulateRecovery models a crash at the current instant: all volatile
+// state (memtable, uncommitted logs) is lost; the data structure is rebuilt
+// from the last checkpoint plus committed journal logs (Section III-G).
+// The engine itself is left untouched — the report is what a restarted
+// instance would reconstruct.
+func (en *Engine) SimulateRecovery() *RecoveryReport {
+	rep := en.recoverReport()
 
 	// Model the recovery read time: the journal is scanned sequentially.
 	start := en.eng.Now()

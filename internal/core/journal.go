@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/checkin-kv/checkin/internal/inject"
 	"github.com/checkin-kv/checkin/internal/sim"
 	"github.com/checkin-kv/checkin/internal/ssd"
 	"github.com/checkin-kv/checkin/internal/trace"
@@ -59,6 +60,12 @@ type journal struct {
 	// the halves, so the old half's final batch can be flushed without
 	// new arrivals extending it forever.
 	cutting bool
+
+	// onCommit, when set, observes every log the moment its group commit
+	// becomes durable (before client wakeup). The crash-consistency
+	// harness's reference model hangs off this hook.
+	onCommit func(key, version int64)
+	injector *inject.Injector
 
 	stats JournalStats
 }
@@ -125,6 +132,7 @@ func (j *journal) Append(key, version int64, payload int) (*jmtEntry, *sim.Futur
 		j.nextBatch = sim.NewFuture(j.eng)
 	}
 	fut := j.nextBatch
+	j.injector.Hit(inject.SiteJournalAppend)
 	if !j.commitInFlight && !j.cutting {
 		j.startCommit()
 	}
@@ -176,7 +184,11 @@ func (j *journal) commitBatch(batch []*jmtEntry, fut *sim.Future, base int64) in
 		j.tracer.Emit(j.eng.Now(), trace.KindJournalCommit, length, "")
 		for _, e := range batch {
 			e.committed = true
+			if j.onCommit != nil {
+				j.onCommit(e.key, e.version)
+			}
 		}
+		j.injector.Hit(inject.SiteJournalCommit)
 		j.commitInFlight = false
 		j.inFlightDone = nil
 		fut.Complete()
@@ -323,6 +335,7 @@ func (j *journal) CutForCheckpoint(p *sim.Proc) ckptSnapshot {
 	j.cutting = false
 	j.stats.HalfSwitches++
 	j.tracer.Emit(j.eng.Now(), trace.KindJournalSwitch, int64(oldHalf), "")
+	j.injector.Hit(inject.SiteCheckpointCut)
 	// resume group commit on the new half
 	if len(j.pending) > 0 {
 		j.startCommit()

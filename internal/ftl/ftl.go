@@ -15,6 +15,7 @@ package ftl
 import (
 	"fmt"
 
+	"github.com/checkin-kv/checkin/internal/inject"
 	"github.com/checkin-kv/checkin/internal/nand"
 	"github.com/checkin-kv/checkin/internal/sim"
 	"github.com/checkin-kv/checkin/internal/trace"
@@ -143,6 +144,10 @@ type Config struct {
 
 	// Tracer, when non-nil, receives GC and wear-leveling events.
 	Tracer *trace.Tracer
+
+	// Injector, when non-nil, receives crash-injection hits at the FTL's
+	// instrumented sites (metadata flush, GC collection, wear leveling).
+	Injector *inject.Injector
 
 	// GCPolicy selects the victim policy (default GCGreedy).
 	GCPolicy GCPolicy
@@ -529,6 +534,7 @@ func (f *FTL) programMetaPage() {
 	f.array.ProgramPage(block, f.array.Geometry().PageSize)
 	f.stats.ProgramsByTag[TagMeta]++
 	f.advanceFrontier(fr, block)
+	f.cfg.Injector.Hit(inject.SiteMetaFlush)
 }
 
 // mapLookupCost models the map-cache: the fraction of the table that does
@@ -1125,6 +1131,7 @@ func (f *FTL) collectBlock(b int) {
 	f.rlog.noteErase(base, int64(slotsPerBlock))
 	f.array.EraseBlock(b)
 	f.releaseBlock(b)
+	f.cfg.Injector.Hit(inject.SiteGCMigrate)
 }
 
 // HasReclaimable reports whether background GC would find a cheap victim.

@@ -1,0 +1,125 @@
+package ftl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckInvariants verifies the FTL's internal consistency: the
+// logical-to-physical map, the per-slot reference counts with their reverse
+// mappings, per-block valid-slot accounting, and the free-block pool must
+// all agree. The crash-consistency harness (internal/check) calls it at
+// every injected crash point; it is pure (no simulated time, no mutation)
+// and returns an error describing the first few violations, or nil.
+//
+// Invariants checked:
+//
+//  1. Every mapped logical unit references a live slot, and appears exactly
+//     once in that slot's reverse mappings (LSN→slot is a function; the
+//     reference sets are its exact inverse).
+//  2. Every live slot's reference count equals 1 (primary reverse mapping)
+//     plus its overflow entries, with no duplicate or dangling references.
+//  3. A block's valid-slot count equals the number of live slots it holds,
+//     and never exceeds what was written to the block.
+//  4. The free-block pool is consistent: freeCount matches the per-die free
+//     lists and the block state array, and free blocks hold no live slots.
+func (f *FTL) CheckInvariants() error {
+	const maxViolations = 8
+	var violations []string
+	report := func(format string, args ...any) {
+		if len(violations) < maxViolations {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// 1 & 2: walk the map and the reference sets in both directions.
+	refs := make(map[int64]int64) // slot id → live references seen via l2p
+	for lun, sid := range f.l2p {
+		if sid < 0 {
+			continue
+		}
+		if f.refcnt[sid] == 0 {
+			report("lun %d maps to dead slot %d (refcnt 0)", lun, sid)
+			continue
+		}
+		found := f.rev[sid] == int64(lun)
+		for _, l := range f.revOverflow[sid] {
+			if l == int64(lun) {
+				if found {
+					report("lun %d appears twice in slot %d's reverse mappings", lun, sid)
+				}
+				found = true
+			}
+		}
+		if !found {
+			report("lun %d maps to slot %d but is missing from its reverse mappings", lun, sid)
+		}
+		refs[sid]++
+	}
+	for sid, ov := range f.revOverflow {
+		if f.refcnt[sid] < 2 {
+			report("slot %d has %d overflow reverse mappings but refcnt %d", sid, len(ov), f.refcnt[sid])
+		}
+	}
+
+	// 2 (slot side) & 3: per-block accounting.
+	slotsPerBlock := f.pagesPerBlk * f.slotsPerPage
+	for b := 0; b < f.totalBlocks; b++ {
+		base := f.slotID(b, 0, 0)
+		live := int32(0)
+		for s := 0; s < slotsPerBlock; s++ {
+			sid := base + int64(s)
+			rc := int(f.refcnt[sid])
+			if rc == 0 {
+				if f.rev[sid] != -1 {
+					report("dead slot %d keeps reverse mapping %d", sid, f.rev[sid])
+				}
+				continue
+			}
+			live++
+			if want := 1 + len(f.revOverflow[sid]); rc != want {
+				report("slot %d refcnt %d but %d reverse mappings", sid, rc, want)
+			}
+			if n := refs[sid]; int(n) != rc {
+				report("slot %d refcnt %d but %d logical units map to it", sid, rc, n)
+			}
+			if primary := f.rev[sid]; primary < 0 || f.l2p[primary] != sid {
+				report("slot %d primary reverse mapping %d does not map back", sid, f.rev[sid])
+			}
+		}
+		if f.validCount[b] != live {
+			report("block %d validCount %d but %d live slots", b, f.validCount[b], live)
+		}
+		if f.written[b] < live {
+			report("block %d written %d < %d live slots", b, f.written[b], live)
+		}
+		if f.state[b] == blockFree && live > 0 {
+			report("free block %d holds %d live slots", b, live)
+		}
+	}
+
+	// 4: free pool.
+	freeStates := 0
+	for b := 0; b < f.totalBlocks; b++ {
+		if f.state[b] == blockFree {
+			freeStates++
+		}
+	}
+	inLists := 0
+	for _, l := range f.freeByDie {
+		for _, b := range l {
+			if f.state[b] != blockFree {
+				report("free list holds block %d in state %d", b, f.state[b])
+			}
+		}
+		inLists += len(l)
+	}
+	if f.freeCount != freeStates || f.freeCount != inLists {
+		report("free accounting: freeCount %d, %d free states, %d listed", f.freeCount, freeStates, inLists)
+	}
+
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ftl: invariants violated: %s", strings.Join(violations, "; "))
+}

@@ -1,6 +1,9 @@
 package ftl
 
-import "github.com/checkin-kv/checkin/internal/trace"
+import (
+	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/trace"
+)
 
 // Static wear leveling: the greedy GC victim policy naturally recycles
 // blocks holding hot data, so blocks pinned under cold valid data fall
@@ -79,5 +82,6 @@ func (f *FTL) MaybeWearLevel() bool {
 	f.gcDepth--
 	f.stats.WearLevelMoves++
 	f.cfg.Tracer.Emit(f.eng.Now(), trace.KindWearLevel, int64(best), "")
+	f.cfg.Injector.Hit(inject.SiteWearLevel)
 	return true
 }

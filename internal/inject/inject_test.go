@@ -1,0 +1,78 @@
+package inject
+
+import "testing"
+
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for _, s := range Sites() {
+		got, err := ParseSite(s.String())
+		if err != nil {
+			t.Fatalf("ParseSite(%q): %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("ParseSite(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := ParseSite("no-such-site"); err == nil {
+		t.Fatal("ParseSite accepted an unknown name")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var inj *Injector
+	inj.Hit(SiteJournalCommit) // must not panic
+	if _, _, fired := inj.Fired(); fired {
+		t.Fatal("nil injector reports a fired crash")
+	}
+}
+
+func TestCountingAndArming(t *testing.T) {
+	inj := New()
+	inj.Hit(SiteJournalAppend)
+	inj.Hit(SiteJournalAppend)
+	inj.Hit(SiteDeallocate)
+	if c := inj.Counts(); c[SiteJournalAppend] != 2 || c[SiteDeallocate] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+
+	// Arm at the 2nd post-arm hit of journal-commit; inline fire (no defer).
+	var crashSite Site
+	crashHit := -1
+	inj.Arm(SiteJournalCommit, 1, nil, func(s Site, n int) {
+		crashSite, crashHit = s, n
+	})
+	inj.Hit(SiteJournalCommit)
+	if _, _, fired := inj.Fired(); fired {
+		t.Fatal("fired one hit early")
+	}
+	inj.Hit(SiteJournalCommit)
+	site, hit, fired := inj.Fired()
+	if !fired || site != SiteJournalCommit {
+		t.Fatalf("Fired() = %v %v %v", site, hit, fired)
+	}
+	if crashSite != SiteJournalCommit || crashHit != hit {
+		t.Fatalf("callback saw (%v, %d), Fired() reports (%v, %d)", crashSite, crashHit, site, hit)
+	}
+	// Further hits after the crash must not re-fire.
+	inj.Hit(SiteJournalCommit)
+	if _, n, _ := inj.Fired(); n != hit {
+		t.Fatal("injector fired twice")
+	}
+}
+
+func TestDeferredFire(t *testing.T) {
+	inj := New()
+	var deferred func()
+	fired := false
+	inj.Arm(SiteMetaFlush, 0, func(fire func()) { deferred = fire }, func(Site, int) { fired = true })
+	inj.Hit(SiteMetaFlush)
+	if fired {
+		t.Fatal("crash callback ran before the deferred fire")
+	}
+	if deferred == nil {
+		t.Fatal("defer hook never received the fire closure")
+	}
+	deferred()
+	if !fired {
+		t.Fatal("deferred fire did not run the crash callback")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/inject"
 	"github.com/checkin-kv/checkin/internal/sim"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 
 	// BackgroundGCBatch is the number of victims collected per idle check.
 	BackgroundGCBatch int
+
+	// Injector, when set, receives crash-injection hits at the device-level
+	// ISCE sites (checkpoint copy/remap service, deallocate). Nil in
+	// production.
+	Injector *inject.Injector
 }
 
 // DefaultConfig mirrors a mid-range NVMe datacenter SSD.
@@ -283,6 +289,7 @@ func (d *Device) Deallocate(off, n int64) *sim.Future {
 	return d.submit(0, 0, func() *sim.Future {
 		d.cacheInvalidate(off, n)
 		d.f.Trim(off, n)
+		d.cfg.Injector.Hit(inject.SiteDeallocate)
 		return sim.CompletedFuture(d.eng)
 	})
 }
@@ -296,6 +303,7 @@ func (d *Device) CoW(src, dst, n int64) *sim.Future {
 		d.cacheInvalidate(dst, n)
 		cf := d.f.CopyCached(src, dst, n, ftl.TagCheckpoint, cached)
 		sf := d.f.Sync(ftl.StreamData, ftl.TagCheckpoint)
+		d.cfg.Injector.Hit(inject.SiteCheckpointCopy)
 		return sim.AfterAll(d.eng, []*sim.Future{cf, sf})
 	})
 }
@@ -316,6 +324,7 @@ func (d *Device) MultiCoW(pairs []CoWPair) *sim.Future {
 		}
 		// one durability barrier per command: copies batch into full pages
 		futs = append(futs, d.f.Sync(ftl.StreamData, ftl.TagCheckpoint))
+		d.cfg.Injector.Hit(inject.SiteCheckpointCopy)
 		return sim.AfterAll(d.eng, futs)
 	})
 }
@@ -360,6 +369,7 @@ func (d *Device) CheckpointRequest(entries []RemapEntry) (*RemapStats, *sim.Futu
 				futs = append(futs, f)
 			}
 		}
+		d.cfg.Injector.Hit(inject.SiteCheckpointRemap)
 		return sim.AfterAll(d.eng, futs)
 	})
 	return res, fut
