@@ -239,10 +239,17 @@ type DB struct {
 	device *ssd.Device
 	engine *core.Engine
 	tracer *trace.Tracer
+
+	// restPoint is the kernel state at the post-Load quiescent instant —
+	// the anchor Snapshot captures from. Nil before Load.
+	restPoint *sim.EngineState
 }
 
-// Open assembles the simulated stack described by cfg.
-func Open(cfg Config) (*DB, error) {
+// withDefaults returns cfg with every zero field replaced by its default —
+// the resolved configuration a DB actually runs with. Open applies it before
+// assembly; fingerprints apply it so that a zero field and its explicit
+// default hash identically.
+func withDefaults(cfg Config) Config {
 	def := DefaultConfig()
 	fill := func(v *int, d int) {
 		if *v == 0 {
@@ -297,6 +304,12 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.MappingUnit == 0 {
 		cfg.MappingUnit = cfg.Strategy.DefaultMappingUnit()
 	}
+	return cfg
+}
+
+// Open assembles the simulated stack described by cfg.
+func Open(cfg Config) (*DB, error) {
+	cfg = withDefaults(cfg)
 
 	eng := sim.NewEngine()
 
@@ -394,7 +407,23 @@ func (db *DB) Config() Config { return db.cfg }
 
 // Load bulk-populates every record (the YCSB load phase). Call once before
 // the first Run.
-func (db *DB) Load() { db.engine.Load() }
+//
+// After the bulk load, Load drains the simulation to a canonical rest point:
+// the deallocator tick — the only perpetually self-rescheduling event — is
+// paused so its queued firing disarms instead of re-arming, the event queue
+// runs dry, and the kernel state is recorded before the tick is re-armed.
+// Every path (direct run, snapshot capture, fork restore) passes through the
+// same rest point, which is what makes snapshot-on and snapshot-off runs
+// byte-identical: re-arming is always the next scheduled action taken from
+// identical (clock, sequence) state.
+func (db *DB) Load() {
+	db.engine.Load()
+	db.device.PauseDeallocator()
+	db.eng.Run()
+	rp := db.eng.State()
+	db.restPoint = &rp
+	db.device.ResumeDeallocator()
+}
 
 // Run executes a workload phase and returns its metrics.
 func (db *DB) Run(spec RunSpec) (*Metrics, error) { return db.engine.Run(spec) }

@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		seeds      = flag.String("seeds", "", "comma-separated seeds: run each experiment once per seed (variance evidence); overrides -seed")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for an experiment's independent runs (0 = NumCPU, 1 = sequential; output is identical either way)")
+		snapshot   = flag.String("snapshot", "on", "load-phase snapshot reuse: 'on' forks a cached post-load template for runs sharing a load configuration, 'off' re-simulates every load phase (output is byte-identical either way)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -82,6 +83,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "checkin-bench:", err)
 		os.Exit(2)
 	}
+	if *snapshot != "on" && *snapshot != "off" {
+		fmt.Fprintf(os.Stderr, "checkin-bench: bad -snapshot %q (want on or off)\n", *snapshot)
+		os.Exit(2)
+	}
 	seedList := []int64{*seed}
 	if *seeds != "" {
 		seedList = seedList[:0]
@@ -111,7 +116,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {

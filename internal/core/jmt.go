@@ -76,6 +76,29 @@ func (t *JMT) Add(e *jmtEntry) {
 	t.live++
 }
 
+// clone returns a deep copy of the table. The latest index points at the
+// same entry objects as the append log, so cloning goes through an identity
+// map: each source entry is copied exactly once and the copy is shared by
+// both structures, preserving the aliasing Add relies on when it flips a
+// previous entry's OLD flag.
+func (t *JMT) clone() *JMT {
+	out := &JMT{
+		entries: make([]*jmtEntry, len(t.entries)),
+		latest:  make(map[int64]*jmtEntry, len(t.latest)),
+		live:    t.live,
+	}
+	remap := make(map[*jmtEntry]*jmtEntry, len(t.entries))
+	for i, e := range t.entries {
+		ce := *e
+		out.entries[i] = &ce
+		remap[e] = &ce
+	}
+	for k, e := range t.latest {
+		out.latest[k] = remap[e]
+	}
+	return out
+}
+
 // Latest returns the newest entry for key, or nil.
 func (t *JMT) Latest(key int64) *jmtEntry { return t.latest[key] }
 

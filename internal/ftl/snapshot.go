@@ -1,0 +1,165 @@
+package ftl
+
+import (
+	"fmt"
+
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// FTLState is a deep copy of the translation layer's mutable state at a
+// quiescent instant: the full L2P/P2L mapping with reference counts, block
+// lifecycle and free pool, per-stream write frontiers (including buffered
+// partial-page slots — genuine state: a stream tail can legitimately sit in
+// the controller buffer across a quiescent point), the map-metadata cost
+// model, the persistent recovery log and the counters.
+type FTLState struct {
+	l2p         []int64
+	refcnt      []uint8
+	rev         []int64
+	revOverflow map[int64][]int64
+
+	state      []blockState
+	validCount []int32
+	written    []int32
+	closedSeq  []int64
+	closeClock int64
+
+	freeByDie [][]int
+	freeCount int
+
+	fronts [numStreams][]frontier
+	rr     [numStreams]int
+
+	dirtyMapEntries int
+	mapMissAccum    float64
+	mapEngine       sim.FIFOResource
+
+	rlogSeq     uint64
+	rlogOOB     []oobRecord
+	rlogAliases map[int64][]oobRecord
+	rlogTrims   []trimExtent
+
+	stats Stats
+}
+
+// Snapshot captures the FTL's mutable state. Every program future must have
+// completed (the kernel queue is drained at the capture point), so the
+// outstanding sets are not part of the state; buffered partial pages are.
+// GC must not be mid-flight.
+func (f *FTL) Snapshot() (*FTLState, error) {
+	if f.gcDepth != 0 {
+		return nil, fmt.Errorf("ftl: snapshot during garbage collection (depth %d)", f.gcDepth)
+	}
+	for s := Stream(0); s < numStreams; s++ {
+		for _, pf := range f.outstanding[s] {
+			if !pf.Done() {
+				return nil, fmt.Errorf("ftl: snapshot with incomplete program on stream %d (FTL not quiescent)", s)
+			}
+		}
+	}
+	st := &FTLState{
+		l2p:         append([]int64(nil), f.l2p...),
+		refcnt:      append([]uint8(nil), f.refcnt...),
+		rev:         append([]int64(nil), f.rev...),
+		revOverflow: make(map[int64][]int64, len(f.revOverflow)),
+
+		state:      append([]blockState(nil), f.state...),
+		validCount: append([]int32(nil), f.validCount...),
+		written:    append([]int32(nil), f.written...),
+		closedSeq:  append([]int64(nil), f.closedSeq...),
+		closeClock: f.closeClock,
+
+		freeByDie: make([][]int, len(f.freeByDie)),
+		freeCount: f.freeCount,
+
+		rr: f.rr,
+
+		dirtyMapEntries: f.dirtyMapEntries,
+		mapMissAccum:    f.mapMissAccum,
+		mapEngine:       f.mapEngine,
+
+		rlogSeq:     f.rlog.seq,
+		rlogOOB:     append([]oobRecord(nil), f.rlog.oob...),
+		rlogAliases: make(map[int64][]oobRecord, len(f.rlog.aliases)),
+		rlogTrims:   append([]trimExtent(nil), f.rlog.trims...),
+
+		stats: f.stats,
+	}
+	for sid, luns := range f.revOverflow {
+		st.revOverflow[sid] = append([]int64(nil), luns...)
+	}
+	for i, blocks := range f.freeByDie {
+		st.freeByDie[i] = append([]int(nil), blocks...)
+	}
+	for s := Stream(0); s < numStreams; s++ {
+		st.fronts[s] = make([]frontier, len(f.fronts[s]))
+		for i, fr := range f.fronts[s] {
+			st.fronts[s][i] = frontier{
+				block:    fr.block,
+				fillLSNs: append([]int64(nil), fr.fillLSNs...),
+				fillTag:  fr.fillTag,
+			}
+		}
+	}
+	for sid, recs := range f.rlog.aliases {
+		st.rlogAliases[sid] = append([]oobRecord(nil), recs...)
+	}
+	return st, nil
+}
+
+// Restore installs a previously captured state into f, which must be freshly
+// constructed over the same geometry and Config. Every slice is copied again
+// so the state stays pristine for further restores, and per-fork mutation
+// never reaches a sibling.
+func (f *FTL) Restore(st *FTLState) error {
+	if len(st.l2p) != len(f.l2p) || len(st.refcnt) != len(f.refcnt) || len(st.state) != len(f.state) {
+		return fmt.Errorf("ftl: restore shape mismatch (%d units / %d slots / %d blocks vs %d / %d / %d)",
+			len(st.l2p), len(st.refcnt), len(st.state), len(f.l2p), len(f.refcnt), len(f.state))
+	}
+	copy(f.l2p, st.l2p)
+	copy(f.refcnt, st.refcnt)
+	copy(f.rev, st.rev)
+	f.revOverflow = make(map[int64][]int64, len(st.revOverflow))
+	for sid, luns := range st.revOverflow {
+		f.revOverflow[sid] = append([]int64(nil), luns...)
+	}
+
+	copy(f.state, st.state)
+	copy(f.validCount, st.validCount)
+	copy(f.written, st.written)
+	copy(f.closedSeq, st.closedSeq)
+	f.closeClock = st.closeClock
+
+	for i, blocks := range st.freeByDie {
+		f.freeByDie[i] = append(f.freeByDie[i][:0], blocks...)
+	}
+	f.freeCount = st.freeCount
+
+	for s := Stream(0); s < numStreams; s++ {
+		for i, fr := range st.fronts[s] {
+			f.fronts[s][i] = frontier{
+				block:    fr.block,
+				fillLSNs: append([]int64(nil), fr.fillLSNs...),
+				fillTag:  fr.fillTag,
+			}
+		}
+		f.outstanding[s] = f.outstanding[s][:0]
+	}
+	f.rr = st.rr
+
+	f.dirtyMapEntries = st.dirtyMapEntries
+	f.mapMissAccum = st.mapMissAccum
+	f.mapEngine = st.mapEngine
+
+	f.rlog.seq = st.rlogSeq
+	copy(f.rlog.oob, st.rlogOOB)
+	f.rlog.aliases = make(map[int64][]oobRecord, len(st.rlogAliases))
+	for sid, recs := range st.rlogAliases {
+		f.rlog.aliases[sid] = append([]oobRecord(nil), recs...)
+	}
+	f.rlog.trims = append(f.rlog.trims[:0], st.rlogTrims...)
+
+	f.gcDepth = 0
+	f.stats = st.stats
+	return nil
+}

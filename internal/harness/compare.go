@@ -18,7 +18,7 @@ func Compare(o Opts) (*Table, error) {
 		Columns: []string{"strategy", "kqps", "mean µs", "p99.9 ms", "redundant", "programs", "ckpt ms", "energy mJ"}}
 
 	cfg0 := baseConfig(o, checkin.StrategyCheckIn)
-	trace, err := checkin.RecordWorkload(cfg0.Keys, cfg0.Records, checkin.WorkloadA,
+	trace, err := recordWorkload(cfg0.Keys, cfg0.Records, checkin.WorkloadA,
 		true, int(o.queries(60_000)), o.Seed)
 	if err != nil {
 		return nil, err
@@ -40,7 +40,7 @@ func Compare(o Opts) (*Table, error) {
 			},
 		})
 	}
-	rs, err := runJobs(o, jobs)
+	rs, err := runJobsKeepDB(o, jobs)
 	if err != nil {
 		return nil, err
 	}

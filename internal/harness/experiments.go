@@ -315,7 +315,7 @@ func Lifetime(o Opts) (*Table, error) {
 			},
 		})
 	}
-	rs, err := runJobs(o, jobs)
+	rs, err := runJobsKeepDB(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -460,21 +460,15 @@ type fig11Val struct {
 	meanUS float64
 }
 
-var fig11Memo = map[string]map[fig11Key]fig11Val{}
-
 var fig11Mixes = []struct {
 	name string
 	mix  checkin.Mix
 }{{"A", checkin.WorkloadA}, {"F", checkin.WorkloadF}, {"WO", checkin.WorkloadWO}}
 
+// fig11Runs builds the shared sweep. Deduplication between Fig11a and
+// Fig11b happens in the runner's memo layer — the second invocation's jobs
+// all hit the (config, spec) cache and no simulation re-runs.
 func fig11Runs(o Opts) (map[fig11Key]fig11Val, error) {
-	// The memo key includes Parallelism so determinism tests comparing
-	// parallel against sequential execution exercise real runs; the
-	// resulting values are identical either way.
-	memoKey := fmt.Sprintf("%v/%v/%v/%v", o.Scale, o.Threads, o.Seed, o.Parallelism)
-	if m, ok := fig11Memo[memoKey]; ok {
-		return m, nil
-	}
 	var jobs []runner.Job
 	var keys []fig11Key
 	for _, s := range checkin.Strategies {
@@ -520,7 +514,6 @@ func fig11Runs(o Opts) (map[fig11Key]fig11Val, error) {
 			meanUS: float64(m.MeanLatency()) / 1e3,
 		}
 	}
-	fig11Memo[memoKey] = out
 	return out, nil
 }
 

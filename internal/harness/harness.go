@@ -37,7 +37,19 @@ type Opts struct {
 	// and results assemble in submission order, so rendered tables are
 	// byte-identical at any setting.
 	Parallelism int
+	// Snapshots controls the run-acceleration stack: the load-phase
+	// template cache (runs whose configurations share a load fingerprint
+	// fork one preconditioned snapshot instead of each re-simulating the
+	// load phase) and whole-run memoization (identical config/spec cells
+	// shared between experiments simulate once). "" and "on" enable it;
+	// "off" forces every run to load and execute privately. Rendered
+	// tables are byte-identical either way — the snapshot restores the
+	// exact post-load state and runs are pure functions of their inputs.
+	Snapshots string
 }
+
+// snapshotsOn reports whether the template cache is enabled (the default).
+func (o Opts) snapshotsOn() bool { return o.Snapshots != "off" }
 
 func (o Opts) withDefaults() Opts {
 	if o.Scale == 0 {
@@ -203,8 +215,29 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 // runJobs executes an experiment's independent run points on the worker
 // pool. Results come back in submission order, so assembly loops can index
 // them positionally; any failed run aborts the whole experiment.
+//
+// Runs go through the full acceleration stack unless Opts.Snapshots ==
+// "off": load-phase snapshot forking plus whole-run memoization, so
+// identical (config, spec) points shared between experiments — e.g. fig11a
+// and fig11b render the same underlying sweep — simulate once per process.
+// Memoized results carry a nil DB; experiments that inspect the post-run DB
+// must use runJobsKeepDB.
 func runJobs(o Opts, jobs []runner.Job) ([]runner.Result, error) {
-	return runner.RunAll(jobs, o.Parallelism)
+	return runner.RunAllWith(jobs, runner.Options{
+		Parallelism: o.Parallelism,
+		Snapshots:   o.snapshotsOn(),
+		Memo:        o.snapshotsOn(),
+	})
+}
+
+// runJobsKeepDB is runJobs without memoization: every result keeps its DB
+// for post-run inspection (recovery simulation, energy and lifetime
+// accounting). Snapshot forking still applies.
+func runJobsKeepDB(o Opts, jobs []runner.Job) ([]runner.Result, error) {
+	return runner.RunAllWith(jobs, runner.Options{
+		Parallelism: o.Parallelism,
+		Snapshots:   o.snapshotsOn(),
+	})
 }
 
 func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }

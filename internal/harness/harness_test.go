@@ -121,8 +121,8 @@ func TestEveryExperimentRuns(t *testing.T) {
 // TestParallelDeterminism renders the same experiments at parallelism 1 and
 // 8 and requires byte-identical output. compare covers trace replay (five
 // runs sharing one recorded trace); fig11a covers the widest sweep
-// (strategies x mixes x threads) including the fig11 memo, whose key
-// includes Parallelism precisely so this test exercises real parallel runs.
+// (strategies x mixes x threads). The runner's memo key includes
+// Parallelism precisely so this test exercises real parallel runs.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parallel determinism sweep in -short mode")

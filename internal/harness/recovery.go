@@ -31,7 +31,7 @@ func Recovery(o Opts) (*Table, error) {
 			},
 		})
 	}
-	rs, err := runJobs(o, jobs)
+	rs, err := runJobsKeepDB(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSnapshotDeterminism renders experiments with the load-snapshot
+// template cache enabled and disabled and requires byte-identical output —
+// the central correctness claim of snapshot-and-fork. The set covers the
+// main sweep shapes: fig8a (small-device config with GC pressure), lifetime
+// (post-run DB inspection through runJobsKeepDB), fig11a (the widest
+// strategy x mix x thread sweep) and recovery (crash recovery plus SPOR
+// validation against forked state).
+func TestSnapshotDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot determinism sweep in -short mode")
+	}
+	for _, id := range []string{"fig8a", "lifetime", "fig11a", "recovery"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			exp, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(mode string) string {
+				o := tinyOpts()
+				o.Snapshots = mode
+				tab, err := exp.Run(o)
+				if err != nil {
+					t.Fatalf("snapshots %s: %v", mode, err)
+				}
+				var sb strings.Builder
+				tab.Render(&sb)
+				return sb.String()
+			}
+			on, off := render("on"), render("off")
+			if on != off {
+				t.Errorf("%s output differs between snapshots on and off:\n--- on\n%s\n--- off\n%s", id, on, off)
+			}
+			if !strings.Contains(on, "==") || len(on) < 100 {
+				t.Errorf("%s rendered output suspiciously small (vacuous comparison?):\n%s", id, on)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"sync"
+
+	checkin "github.com/checkin-kv/checkin"
+)
+
+// traceKey identifies one recorded operation stream. Sizer dynamic types
+// used by the harness are comparable (value structs or pointers), so the
+// interface value itself participates in the key: the same sizer object —
+// or an equal value — yields the same trace.
+type traceKey struct {
+	keys    int64
+	sizer   checkin.Sizer
+	mix     checkin.Mix
+	zipfian bool
+	n       int
+	seed    int64
+}
+
+var traceMemo = struct {
+	mu sync.Mutex
+	m  map[traceKey]*checkin.Trace
+}{m: map[traceKey]*checkin.Trace{}}
+
+// recordWorkload is checkin.RecordWorkload memoized per process: experiment
+// invocations that regenerate the same stream (identical keys, sizer, mix,
+// distribution, length and seed) share one trace. Replay only reads traces,
+// so the share is race-free under parallel workers; the mutex covers map
+// access only — generation happens outside it and a losing racer's trace is
+// simply discarded (generation is deterministic, so both are identical).
+func recordWorkload(keys int64, sizer checkin.Sizer, mix checkin.Mix, zipfian bool, n int, seed int64) (*checkin.Trace, error) {
+	k := traceKey{keys: keys, sizer: sizer, mix: mix, zipfian: zipfian, n: n, seed: seed}
+	traceMemo.mu.Lock()
+	tr := traceMemo.m[k]
+	traceMemo.mu.Unlock()
+	if tr != nil {
+		return tr, nil
+	}
+	tr, err := checkin.RecordWorkload(keys, sizer, mix, zipfian, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	traceMemo.mu.Lock()
+	if prev := traceMemo.m[k]; prev != nil {
+		tr = prev
+	} else {
+		traceMemo.m[k] = tr
+	}
+	traceMemo.mu.Unlock()
+	return tr, nil
+}

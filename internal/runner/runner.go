@@ -60,7 +60,7 @@ var execute = func(j Job) (*checkin.DB, *checkin.Metrics, error) {
 // runJob executes one job with panic containment: a panicking simulation
 // (e.g. an FTL invariant violation) fails its own result instead of tearing
 // down the whole sweep.
-func runJob(j Job) (res Result) {
+func runJob(j Job, o Options) (res Result) {
 	res.Name = j.Name
 	defer func() {
 		if r := recover(); r != nil {
@@ -68,7 +68,7 @@ func runJob(j Job) (res Result) {
 			res.Err = fmt.Errorf("runner: job %q panicked: %v", j.Name, r)
 		}
 	}()
-	res.DB, res.Metrics, res.Err = execute(j)
+	res.DB, res.Metrics, res.Err = executeJob(j, o)
 	return res
 }
 
@@ -77,7 +77,16 @@ func runJob(j Job) (res Result) {
 // runtime.NumCPU(); parallelism 1 runs strictly sequentially on the calling
 // goroutine. Individual failures are reported per Result, never as a
 // partial slice: len(results) == len(jobs) always.
+//
+// Run uses no acceleration (every job loads privately) — see RunWith for
+// the snapshot-forking and memoizing variant.
 func Run(jobs []Job, parallelism int) []Result {
+	return RunWith(jobs, Options{Parallelism: parallelism})
+}
+
+// RunWith is Run with the acceleration layers described by o.
+func RunWith(jobs []Job, o Options) []Result {
+	parallelism := o.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
@@ -87,7 +96,7 @@ func Run(jobs []Job, parallelism int) []Result {
 	results := make([]Result, len(jobs))
 	if parallelism <= 1 {
 		for i := range jobs {
-			results[i] = runJob(jobs[i])
+			results[i] = runJob(jobs[i], o)
 		}
 		return results
 	}
@@ -103,7 +112,7 @@ func Run(jobs []Job, parallelism int) []Result {
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runJob(jobs[i])
+				results[i] = runJob(jobs[i], o)
 			}
 		}()
 	}
@@ -114,7 +123,12 @@ func Run(jobs []Job, parallelism int) []Result {
 // RunAll is Run plus fail-fast error collection: it returns the results
 // alongside the first (by submission order) job error, if any.
 func RunAll(jobs []Job, parallelism int) ([]Result, error) {
-	results := Run(jobs, parallelism)
+	return RunAllWith(jobs, Options{Parallelism: parallelism})
+}
+
+// RunAllWith is RunWith plus fail-fast error collection.
+func RunAllWith(jobs []Job, o Options) ([]Result, error) {
+	results := RunWith(jobs, o)
 	for i := range results {
 		if results[i].Err != nil {
 			return results, fmt.Errorf("runner: job %d (%s): %w", i, results[i].Name, results[i].Err)

@@ -197,6 +197,44 @@ func (e *Engine) RunUntil(deadline VTime) {
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// EngineState is the restorable kernel state: the virtual clock, the event
+// sequence counter (same-time tie-break order) and the executed-event count.
+// Queued events are deliberately NOT part of the state — closures cannot be
+// copied — so State is only meaningful at a quiescent point where the queue
+// holds nothing the caller cannot deterministically re-create (see
+// Engine.Restore).
+type EngineState struct {
+	Now      VTime
+	Seq      uint64
+	Executed uint64
+}
+
+// State captures the kernel counters for a later Restore.
+func (e *Engine) State() EngineState {
+	return EngineState{Now: e.now, Seq: e.seq, Executed: e.executed}
+}
+
+// Restore rewinds (or fast-forwards) the engine to a previously captured
+// state, discarding every queued event. The caller owns re-creating whatever
+// periodic events belong at the restored instant; because the sequence
+// counter is restored too, re-created events draw the same tie-break numbers
+// they had on the original timeline, keeping same-time ordering identical.
+// Restoring with live processes panics: their goroutine stacks reference the
+// discarded timeline and cannot be rewound.
+func (e *Engine) Restore(s EngineState) {
+	if e.liveProcs != 0 {
+		panic(fmt.Sprintf("sim: Restore with %d live processes", e.liveProcs))
+	}
+	for i := range e.events {
+		e.events[i] = event{} // release fn closures for GC
+	}
+	e.events = e.events[:0]
+	e.now = s.Now
+	e.seq = s.Seq
+	e.executed = s.Executed
+	e.stopped = false
+}
+
 // A Proc is a cooperative simulated process. All its methods must be called
 // from the process's own goroutine (inside the function passed to Engine.Go).
 type Proc struct {

@@ -530,3 +530,85 @@ func TestProcWaitCompletedFutureKeepsTime(t *testing.T) {
 		t.Errorf("Wait on done future moved time to %v, want 50", at)
 	}
 }
+
+func TestEngineStateRestore(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(10, func() { fired = append(fired, 1) })
+	e.Schedule(20, func() { fired = append(fired, 2) })
+	e.Run()
+	st := e.State()
+	if st.Now != 20 || st.Executed != 2 {
+		t.Fatalf("State() = %+v, want Now=20 Executed=2", st)
+	}
+
+	// Move the engine forward, then restore: the queued event must be
+	// dropped and clock/seq/executed must rewind exactly.
+	e.Schedule(5, func() { fired = append(fired, 3) })
+	e.Run()
+	e.Schedule(100, func() { t.Error("queued event survived Restore") })
+	e.Restore(st)
+	if e.Now() != 20 || e.Executed() != 2 || e.Pending() != 0 {
+		t.Fatalf("after Restore: now=%v executed=%d pending=%d", e.Now(), e.Executed(), e.Pending())
+	}
+
+	// The restored engine must schedule and run normally from the restored
+	// clock.
+	e.Schedule(10, func() { fired = append(fired, 4) })
+	e.Run()
+	if e.Now() != 30 {
+		t.Errorf("post-restore Now() = %v, want 30", e.Now())
+	}
+	if len(fired) != 4 || fired[3] != 4 {
+		t.Errorf("fired = %v, want [1 2 3 4]", fired)
+	}
+}
+
+func TestEngineRestoreSeqContinuity(t *testing.T) {
+	// Two engines: one runs straight through, the other detours and is
+	// restored. Same-time events scheduled after the restore must interleave
+	// identically — i.e. Restore rewinds the sequence counter too.
+	run := func(detour bool) []int {
+		e := NewEngine()
+		e.Schedule(10, func() {})
+		e.Run()
+		st := e.State()
+		if detour {
+			e.Schedule(1, func() {})
+			e.Schedule(2, func() {})
+			e.Run()
+			e.Restore(st)
+		}
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Schedule(5, func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("orders %v / %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-time ordering diverged after Restore: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEngineRestoreLiveProcPanics(t *testing.T) {
+	e := NewEngine()
+	st := e.State()
+	e.Go("stuck", func(p *Proc) {
+		p.Sleep(1000)
+	})
+	e.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Restore with a live process did not panic")
+		}
+	}()
+	e.Restore(st)
+}

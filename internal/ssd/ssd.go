@@ -177,6 +177,13 @@ type Device struct {
 
 	cache *unitCache
 
+	// deallocator scheduling state: armed tracks whether a tick event is
+	// queued; paused makes the queued tick fire as a disarming no-op (events
+	// cannot be removed from the kernel queue, so pausing lets the tick
+	// cancel itself without doing GC work or re-arming).
+	deallocArmed  bool
+	deallocPaused bool
+
 	stats Stats
 }
 
@@ -379,28 +386,58 @@ func (d *Device) CheckpointRequest(entries []RemapEntry) (*RemapStats, *sim.Futu
 // deallocator: idle-window background GC
 
 func (d *Device) startDeallocator() {
-	var tick func()
-	tick = func() {
-		now := d.eng.Now()
-		switch {
-		case d.f.LowSpace():
-			// space pressure: reclaim a small batch even while busy so
-			// the foreground path never has to stall on a giant burst
-			n := d.f.BackgroundGCForce(d.cfg.BackgroundGCBatch)
-			d.stats.BackgroundGCs += uint64(n)
-		case d.f.Array().AllDiesIdleAt(now) && d.f.HasReclaimable():
-			n := d.f.BackgroundGC(d.cfg.BackgroundGCBatch)
-			d.stats.BackgroundGCs += uint64(n)
-		case d.f.Array().AllDiesIdleAt(now):
-			d.f.MaybeWearLevel()
-		}
-		d.eng.Schedule(d.cfg.DeallocatorPeriod, tick)
+	d.armDeallocator()
+}
+
+// armDeallocator schedules the next deallocator tick.
+func (d *Device) armDeallocator() {
+	d.deallocArmed = true
+	d.eng.Schedule(d.cfg.DeallocatorPeriod, d.deallocTick)
+}
+
+// deallocTick is one deallocator wake-up: run background reclamation work if
+// warranted, then re-arm. While paused the tick disarms itself instead — it
+// must not advance any device state, so that a paused drain reaches a state
+// the snapshot layer can capture and reproduce exactly.
+func (d *Device) deallocTick() {
+	if d.deallocPaused {
+		d.deallocArmed = false
+		return
 	}
-	d.eng.Schedule(d.cfg.DeallocatorPeriod, tick)
+	now := d.eng.Now()
+	switch {
+	case d.f.LowSpace():
+		// space pressure: reclaim a small batch even while busy so
+		// the foreground path never has to stall on a giant burst
+		n := d.f.BackgroundGCForce(d.cfg.BackgroundGCBatch)
+		d.stats.BackgroundGCs += uint64(n)
+	case d.f.Array().AllDiesIdleAt(now) && d.f.HasReclaimable():
+		n := d.f.BackgroundGC(d.cfg.BackgroundGCBatch)
+		d.stats.BackgroundGCs += uint64(n)
+	case d.f.Array().AllDiesIdleAt(now):
+		d.f.MaybeWearLevel()
+	}
+	d.armDeallocator()
+}
+
+// PauseDeallocator stops the periodic deallocator: the already-queued tick
+// fires as a no-op and does not re-arm. With the deallocator paused the
+// engine's event queue can drain completely (the tick is otherwise the one
+// perpetual event), which is how callers reach a quiescent state.
+func (d *Device) PauseDeallocator() { d.deallocPaused = true }
+
+// ResumeDeallocator restarts the periodic deallocator, arming a tick one
+// period from now unless one is still queued.
+func (d *Device) ResumeDeallocator() {
+	d.deallocPaused = false
+	if !d.deallocArmed && d.cfg.DeallocatorPeriod > 0 {
+		d.armDeallocator()
+	}
 }
 
 // StopConditionless deallocator note: the periodic event keeps the engine's
-// queue non-empty forever; simulations therefore run with RunUntil.
+// queue non-empty forever; simulations therefore run with RunUntil (or pause
+// the deallocator first and Run to a full drain).
 
 // ---------------------------------------------------------------------------
 // DRAM data cache (unit-granular LRU)
