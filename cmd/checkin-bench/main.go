@@ -33,6 +33,7 @@ func main() {
 		seeds      = flag.String("seeds", "", "comma-separated seeds: run each experiment once per seed (variance evidence); overrides -seed")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for an experiment's independent runs (0 = NumCPU, 1 = sequential; output is identical either way)")
 		snapshot   = flag.String("snapshot", "on", "load-phase snapshot reuse: 'on' forks a cached post-load template for runs sharing a load configuration, 'off' re-simulates every load phase (output is byte-identical either way)")
+		timing     = flag.Bool("timing", false, "print a per-phase (load / run / render) wall-clock breakdown per cell after each experiment")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -116,7 +117,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {
@@ -126,7 +127,12 @@ func main() {
 			if len(seedList) > 1 {
 				table.Title += fmt.Sprintf(" [seed %d]", sd)
 			}
+			renderStart := time.Now()
 			table.Render(os.Stdout)
+			render := time.Since(renderStart)
+			if *timing {
+				printTimings(exp.ID, harness.DrainTimings(), render)
+			}
 			fmt.Printf("  (%s in %.1fs wall)\n", exp.ID, time.Since(start).Seconds())
 			if *markdown != "" {
 				f, err := os.OpenFile(*markdown, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -142,6 +148,32 @@ func main() {
 			}
 		}
 	}
+}
+
+// printTimings writes the -timing breakdown for one experiment: one line per
+// executed cell (load and run phase wall-clock; memoized cells did no work),
+// the table-render time, and per-phase totals.
+func printTimings(id string, cells []harness.CellTiming, render time.Duration) {
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000) }
+	w := 4 // minimum cell-name column width
+	for _, c := range cells {
+		if len(c.Cell) > w {
+			w = len(c.Cell)
+		}
+	}
+	fmt.Printf("  timing %s:\n", id)
+	fmt.Printf("    %-*s  %10s  %10s\n", w, "cell", "load", "run")
+	var load, run time.Duration
+	for _, c := range cells {
+		if c.Memoized {
+			fmt.Printf("    %-*s  %10s  %10s  (memoized)\n", w, c.Cell, "-", "-")
+			continue
+		}
+		load += c.Load
+		run += c.Run
+		fmt.Printf("    %-*s  %10s  %10s\n", w, c.Cell, ms(c.Load), ms(c.Run))
+	}
+	fmt.Printf("    %-*s  %10s  %10s  render %s\n", w, "total", ms(load), ms(run), ms(render))
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -1,0 +1,110 @@
+package ftl
+
+import (
+	"testing"
+)
+
+// Alloc-regression guards for the FTL steady state. The budget per path:
+//
+//   - a buffered host write (slot append + bind, no page boundary) is
+//     allocation-free;
+//   - a write completing a page pays exactly one allocation — the nand
+//     program future, which is caller-owned and cannot be pooled;
+//   - reads of unmapped or still-buffered data are allocation-free;
+//   - a read hitting flash pays exactly one allocation (the nand read
+//     future), however many units it spans.
+//
+// Anything above these bounds is a regression in the pooled scratch
+// machinery (epoch tables, reusable futs slices, victim index).
+func TestFTLSteadyStateAllocs(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MetaFlushEntries = 1 << 30 // metadata flush paths measured separately
+	e, f := newSmall(t, cfg)
+	unit := int64(f.unit)
+
+	// Warm up: map a few pages' worth of luns, program them, and run a GC
+	// cycle so every pooled buffer and the event heap reach steady-state
+	// capacity.
+	for lun := int64(0); lun < 64; lun++ {
+		f.Write(lun*unit, unit, TagHostData, StreamData)
+	}
+	f.Sync(StreamData, TagHostData)
+	e.Run()
+	f.BackgroundGCForce(2)
+	e.Run()
+
+	// Buffered overwrite: stay strictly inside one page (slotsPerPage
+	// appends would program it), overwriting already-mapped luns.
+	spp := int64(f.slotsPerPage)
+	if n := testing.AllocsPerRun(100, func() {
+		f.Write(0, unit, TagHostData, StreamData)
+		if len(f.fronts[StreamData][f.partial[StreamData]].fillLSNs) == int(spp)-1 {
+			// drain the page boundary outside the measured region by
+			// padding with one more overwrite, then letting it program
+			f.Write(unit, unit, TagHostData, StreamData)
+			e.Run()
+		}
+	}); n > 1 {
+		t.Fatalf("buffered write path allocates %.2f/op, want <= 1 (page-program future only)", n)
+	}
+
+	// A full page of writes: exactly one allocation, the program future.
+	if n := testing.AllocsPerRun(50, func() {
+		for i := int64(0); i < spp; i++ {
+			f.Write(i*unit, unit, TagHostData, StreamData)
+		}
+		e.Run()
+	}); n != 1 {
+		t.Fatalf("page-filling write burst allocates %.2f, want exactly 1 (program future)", n)
+	}
+
+	// Unmapped read: zero-fill completes on the engine's shared future.
+	holeOff := f.logicalBytes - 8*unit
+	if n := testing.AllocsPerRun(100, func() {
+		f.Read(holeOff, 4*unit)
+	}); n != 0 {
+		t.Fatalf("unmapped read allocates %.2f/op, want 0", n)
+	}
+
+	// Buffered read: data still in the controller page buffer.
+	f.Write(0, unit, TagHostData, StreamData)
+	if n := testing.AllocsPerRun(100, func() {
+		f.Read(0, unit)
+	}); n != 0 {
+		t.Fatalf("buffered read allocates %.2f/op, want 0", n)
+	}
+	f.Sync(StreamData, TagHostData)
+	e.Run()
+
+	// Flash read spanning a whole page of units: one nand future.
+	if n := testing.AllocsPerRun(100, func() {
+		f.Read(8*unit, spp*unit)
+		e.Run()
+	}); n != 1 {
+		t.Fatalf("flash read allocates %.2f/op, want exactly 1 (read future)", n)
+	}
+
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncAllocs locks in that a no-op durability barrier (everything
+// already programmed and completed) is allocation-free: Sync returns the
+// engine's shared completed future and reuses the pooled pending slice.
+func TestSyncAllocs(t *testing.T) {
+	cfg := smallCfg()
+	e, f := newSmall(t, cfg)
+	unit := int64(f.unit)
+	for lun := int64(0); lun < 16; lun++ {
+		f.Write(lun*unit, unit, TagHostData, StreamData)
+	}
+	f.Sync(StreamData, TagHostData)
+	e.Run()
+	if n := testing.AllocsPerRun(100, func() {
+		f.Sync(StreamData, TagHostData)
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("idle Sync allocates %.2f/op, want 0", n)
+	}
+}

@@ -290,10 +290,51 @@ type FTL struct {
 
 	gcDepth int // re-entrancy guard: GC's own writes must not trigger GC
 
+	// vix is the incrementally maintained victim index (see victim.go):
+	// every closed block linked into a bucket keyed by its valid count, so
+	// victim selection and the deallocator's existence probe no longer scan
+	// all blocks. gcVictim is the block currently being collected — it is
+	// detached from the index for the duration — or -1.
+	vix      *victimIndex
+	gcVictim int
+
+	// victimOracle, when set (tests only), makes every pickVictim verify
+	// the index against the retained linear scan and panic on divergence.
+	victimOracle bool
+
+	// partial[s] is the frontier index of stream s holding a partially
+	// filled page, or -1 — appendSlot's "finish the open page first" rule
+	// guarantees at most one per stream, so tracking it replaces a
+	// per-append scan over the stream's frontiers.
+	partial [numStreams]int
+
 	// lunsBuf is the scratch buffer behind lunsOf: the GC migrate loop
 	// calls it once per valid slot, and a fresh slice per call was a
 	// measurable allocation source on GC-heavy runs.
 	lunsBuf []int64
+
+	// Epoch-stamped page-grouping scratch shared by Read and CopyCached:
+	// pageEpoch[pid] == epoch marks page pid as seen by the current call,
+	// so grouping slot reads by physical page needs no per-call map. The
+	// epoch only ever increments, which keeps stale stamps harmless.
+	epoch     uint64
+	pageEpoch []uint64
+	pageCount []int32
+	pageOrder []int64
+
+	// Reusable future slices for the host-path fan-ins. One buffer per
+	// method: CopyCached nests Write, and Sync nests inside GC inside
+	// either, so the buffers must not be shared across methods.
+	readFuts  []*sim.Future
+	writeFuts []*sim.Future
+	remapFuts []*sim.Future
+	copyFuts  []*sim.Future
+	syncFuts  []*sim.Future
+
+	// ovFree interns the small revOverflow slices: checkpoint remaps create
+	// and retire one per shared slot, and recycling them keeps remap-heavy
+	// runs from churning the allocator.
+	ovFree [][]int64
 
 	// rlog is the persistent recovery state (OOB records, remap aliases,
 	// trim extents) backing SimulateSPOR.
@@ -337,6 +378,12 @@ func New(eng *sim.Engine, array *nand.Array, cfg Config) (*FTL, error) {
 	f.validCount = make([]int32, f.totalBlocks)
 	f.written = make([]int32, f.totalBlocks)
 	f.closedSeq = make([]int64, f.totalBlocks)
+	f.vix = newVictimIndex(cfg.GCPolicy, f.totalBlocks, f.pagesPerBlk*f.slotsPerPage)
+	f.gcVictim = -1
+
+	totalPages := int64(geo.TotalPages())
+	f.pageEpoch = make([]uint64, totalPages)
+	f.pageCount = make([]int32, totalPages)
 
 	dies := geo.TotalDies()
 	f.freeByDie = make([][]int, dies)
@@ -355,6 +402,7 @@ func New(eng *sim.Engine, array *nand.Array, cfg Config) (*FTL, error) {
 		for i := range f.fronts[s] {
 			f.fronts[s][i].block = -1
 		}
+		f.partial[s] = -1
 	}
 
 	f.metaFlushAt = cfg.MetaFlushEntries
@@ -421,7 +469,13 @@ func (f *FTL) bindSlot(lun, sid int64) {
 	f.l2p[lun] = sid
 	f.refcnt[sid] = 1
 	f.rev[sid] = lun
-	f.validCount[f.slotBlock(sid)]++
+	blk := f.slotBlock(sid)
+	f.validCount[blk]++
+	if f.vix.linked[blk] {
+		// the append that produced sid filled the page and closed the
+		// block before this bind landed — its bucket must move up
+		f.vixMarkDirty(blk)
+	}
 	f.noteMapDirty(1)
 }
 
@@ -439,9 +493,33 @@ func (f *FTL) shareSlot(lun, sid int64) {
 		panic("ftl: slot reference count overflow")
 	}
 	f.refcnt[sid]++
-	f.revOverflow[sid] = append(f.revOverflow[sid], lun)
+	ov, ok := f.revOverflow[sid]
+	if !ok {
+		ov = f.takeOv()
+	}
+	f.revOverflow[sid] = append(ov, lun)
 	f.rlog.noteAlias(sid, lun)
 	f.noteMapDirty(1)
+}
+
+// takeOv returns an interned overflow slice (or a fresh one). Checkpoint
+// remaps create and retire one small slice per shared slot; recycling them
+// keeps remap-heavy runs from churning the allocator.
+func (f *FTL) takeOv() []int64 {
+	if n := len(f.ovFree); n > 0 {
+		ov := f.ovFree[n-1]
+		f.ovFree[n-1] = nil
+		f.ovFree = f.ovFree[:n-1]
+		return ov
+	}
+	return make([]int64, 0, 2)
+}
+
+// recycleOv returns an emptied overflow slice to the intern pool.
+func (f *FTL) recycleOv(ov []int64) {
+	if cap(ov) > 0 && len(f.ovFree) < 64 {
+		f.ovFree = append(f.ovFree, ov[:0])
+	}
 }
 
 // unmap drops lun's reference, invalidating its slot when the last
@@ -462,10 +540,16 @@ func (f *FTL) dropRef(sid, lun int64) {
 		panic("ftl: dropping reference on dead slot")
 	}
 	if rc == 1 {
+		// no overflow lookup needed: refcnt == 1 + len(overflow) for live
+		// slots (checked by CheckInvariants), so a last-reference slot has
+		// no overflow entry to delete
 		f.refcnt[sid] = 0
 		f.rev[sid] = -1
-		delete(f.revOverflow, sid)
-		f.validCount[f.slotBlock(sid)]--
+		blk := f.slotBlock(sid)
+		f.validCount[blk]--
+		if f.vix.linked[blk] {
+			f.vixMarkDirty(blk)
+		}
 		return
 	}
 	f.refcnt[sid] = rc - 1
@@ -475,6 +559,7 @@ func (f *FTL) dropRef(sid, lun int64) {
 		f.rev[sid] = ov[len(ov)-1]
 		ov = ov[:len(ov)-1]
 		if len(ov) == 0 {
+			f.recycleOv(ov)
 			delete(f.revOverflow, sid)
 		} else {
 			f.revOverflow[sid] = ov
@@ -490,6 +575,7 @@ func (f *FTL) dropRef(sid, lun int64) {
 		}
 	}
 	if len(ov) == 0 {
+		f.recycleOv(ov)
 		delete(f.revOverflow, sid)
 	} else {
 		f.revOverflow[sid] = ov
@@ -531,7 +617,7 @@ func (f *FTL) programMetaPage() {
 	fr, block := f.openFrontier(StreamMeta, idx)
 	f.written[block] += int32(f.slotsPerPage)
 	f.stats.DeadPaddingSlots += 0 // metadata pages are whole-page writes
-	f.array.ProgramPage(block, f.array.Geometry().PageSize)
+	f.array.ProgramPageNoWait(block, f.array.Geometry().PageSize)
 	f.stats.ProgramsByTag[TagMeta]++
 	f.advanceFrontier(fr, block)
 	f.cfg.Injector.Hit(inject.SiteMetaFlush)
@@ -605,6 +691,7 @@ func (f *FTL) advanceFrontier(fr *frontier, block int) {
 		f.state[block] = blockClosed
 		f.closeClock++
 		f.closedSeq[block] = f.closeClock
+		f.vixInsert(block, int(f.validCount[block]))
 		fr.block = -1
 	}
 	f.maybeForegroundGC()
@@ -618,13 +705,9 @@ func (f *FTL) appendSlot(s Stream, lun int64, tag Tag) int64 {
 	// Page-granular striping: finish the partially filled page if one
 	// exists; otherwise start a fresh page on the next frontier in
 	// round-robin order so consecutive pages land on different dies.
-	idx := -1
-	for i := range f.fronts[s] {
-		if len(f.fronts[s][i].fillLSNs) > 0 {
-			idx = i
-			break
-		}
-	}
+	// At most one page per stream is ever partially filled, so the
+	// partial index replaces a scan over the stream's frontiers.
+	idx := f.partial[s]
 	if idx < 0 {
 		idx = f.rr[s] % len(f.fronts[s])
 		f.rr[s]++
@@ -640,6 +723,8 @@ func (f *FTL) appendSlot(s Stream, lun int64, tag Tag) int64 {
 
 	if len(fr.fillLSNs) == f.slotsPerPage {
 		f.programOpenPage(s, idx, tag)
+	} else {
+		f.partial[s] = idx
 	}
 	return sid
 }
@@ -665,6 +750,9 @@ func (f *FTL) programOpenPage(s Stream, idx int, tag Tag) {
 	f.stats.ProgramsByTag[tag]++
 	f.trackOutstanding(s, progF)
 	fr.fillLSNs = fr.fillLSNs[:0]
+	if f.partial[s] == idx {
+		f.partial[s] = -1
+	}
 	f.advanceFrontier(fr, block)
 }
 
@@ -700,17 +788,24 @@ func (f *FTL) Sync(s Stream, tag Tag) *sim.Future {
 			f.programOpenPage(s, idx, tag)
 		}
 	}
-	pending := make([]*sim.Future, 0, len(f.outstanding[s]))
+	// syncFuts is safe to reuse here despite GC-induced nesting: an inner
+	// Sync (collectBlock flushing the GC stream during a programOpenPage
+	// above) runs to completion before this frame touches the buffer.
+	pending := f.syncFuts[:0]
 	for _, pf := range f.outstanding[s] {
 		if !pf.Done() {
 			pending = append(pending, pf)
 		}
 	}
 	f.outstanding[s] = f.outstanding[s][:0]
+	var out *sim.Future
 	if len(pending) == 0 {
-		return sim.CompletedFuture(f.eng)
+		out = sim.CompletedFuture(f.eng)
+	} else {
+		out = sim.AfterAll(f.eng, pending)
 	}
-	return sim.AfterAll(f.eng, pending)
+	f.syncFuts = pending[:0]
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -731,7 +826,7 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 	lookups := int(last - first + 1)
 	delay := f.mapLookupCost(lookups)
 
-	var futs []*sim.Future
+	futs := f.writeFuts[:0]
 	for lun := first; lun <= last; lun++ {
 		unitStart := lun * int64(f.unit)
 		unitEnd := unitStart + int64(f.unit)
@@ -747,6 +842,7 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 		f.bindSlot(lun, sid)
 	}
 	all := sim.AfterAll(f.eng, futs)
+	f.writeFuts = futs[:0]
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -760,29 +856,42 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 	}
 	first := off / int64(f.unit)
 	last := (off + n - 1) / int64(f.unit)
-	delay := f.mapLookupCost(int(last - first + 1))
+	lookups := int(last - first + 1)
+	delay := f.mapLookupCost(lookups)
 
-	// group mapped units by physical page
-	type pageKey struct{ block, page int }
-	pages := make(map[pageKey]int) // → units on that page
-	order := make([]pageKey, 0, 4)
+	// Group mapped units by physical page via the epoch-stamped scratch
+	// table: a page id stamped with the current epoch has been seen by this
+	// call, so no per-call map is needed. Each lun touches at most one page,
+	// which bounds both scratch slices by the unit span.
+	if cap(f.readFuts) < lookups {
+		f.readFuts = make([]*sim.Future, 0, lookups)
+		f.pageOrder = make([]int64, 0, lookups)
+	}
+	f.epoch++
+	order := f.pageOrder[:0]
 	for lun := first; lun <= last; lun++ {
 		sid := f.l2p[lun]
 		if sid < 0 || f.isBuffered(sid) {
 			continue // unmapped (zero-fill) or still in the page buffer
 		}
-		k := pageKey{f.slotBlock(sid), f.slotPage(sid)}
-		if _, seen := pages[k]; !seen {
-			order = append(order, k)
+		pid := sid / int64(f.slotsPerPage)
+		if f.pageEpoch[pid] != f.epoch {
+			f.pageEpoch[pid] = f.epoch
+			f.pageCount[pid] = 0
+			order = append(order, pid)
 		}
-		pages[k]++
+		f.pageCount[pid]++
 	}
-	var futs []*sim.Future
-	for _, k := range order {
+	futs := f.readFuts[:0]
+	for _, pid := range order {
 		f.stats.ReadsByTag[TagHostData]++
-		futs = append(futs, f.array.ReadPage(k.block, k.page, pages[k]*f.unit))
+		block := int(pid / int64(f.pagesPerBlk))
+		page := int(pid % int64(f.pagesPerBlk))
+		futs = append(futs, f.array.ReadPage(block, page, int(f.pageCount[pid])*f.unit))
 	}
+	f.pageOrder = order[:0]
 	all := sim.AfterAll(f.eng, futs)
+	f.readFuts = futs[:0]
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -847,7 +956,7 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 		panic("ftl: Remap destination must be unit-aligned")
 	}
 	var res RemapResult
-	var futs []*sim.Future
+	futs := f.remapFuts[:0]
 	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
 
 	for rel := int64(0); rel < n; rel += int64(f.unit) {
@@ -894,6 +1003,7 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 	// RMW slots batch into pages across Remap calls; the caller syncs the
 	// data stream once per checkpoint command for durability.
 	all := sim.AfterAll(f.eng, futs)
+	f.remapFuts = futs[:0]
 	return res, delayedFuture(f.eng, all, delay)
 }
 
@@ -917,19 +1027,25 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 	}
 	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
 
-	// consecutive reads ...
+	// consecutive reads, deduplicated per physical page through the
+	// epoch-stamped scratch table (as in Read; the nested Write below does
+	// not touch the epoch, so the stamp stays valid across this call) ...
 	sFirst := src / int64(f.unit)
 	sLast := (src + n - 1) / int64(f.unit)
-	type pageKey struct{ block, page int }
-	seen := make(map[pageKey]bool)
-	var futs []*sim.Future
+	if spanCap := int(sLast-sFirst) + 2; cap(f.copyFuts) < spanCap {
+		f.copyFuts = make([]*sim.Future, 0, spanCap)
+	}
+	f.epoch++
+	futs := f.copyFuts[:0]
 	for l := sFirst; l <= sLast && !srcInBuffer; l++ {
 		if sid := f.l2p[l]; sid >= 0 && !f.isBuffered(sid) {
-			k := pageKey{f.slotBlock(sid), f.slotPage(sid)}
-			if !seen[k] {
-				seen[k] = true
+			pid := sid / int64(f.slotsPerPage)
+			if f.pageEpoch[pid] != f.epoch {
+				f.pageEpoch[pid] = f.epoch
 				f.stats.ReadsByTag[tag]++
-				futs = append(futs, f.array.ReadPage(k.block, k.page, f.unit*f.slotsPerPage))
+				block := int(pid / int64(f.pagesPerBlk))
+				page := int(pid % int64(f.pagesPerBlk))
+				futs = append(futs, f.array.ReadPage(block, page, f.unit*f.slotsPerPage))
 			}
 		}
 	}
@@ -938,6 +1054,7 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 	// command so copies batch into full pages.
 	futs = append(futs, f.Write(dst, n, tag, StreamData))
 	all := sim.AfterAll(f.eng, futs)
+	f.copyFuts = futs[:0]
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -1032,8 +1149,23 @@ func (f *FTL) collectVictim() bool {
 // pickVictim returns the best closed victim under the configured policy,
 // or -1 if no closed block has fewer than maxValid valid slots. Fully
 // invalid blocks always win regardless of policy (free space at zero
-// migration cost).
+// migration cost). Selection runs on the incrementally maintained victim
+// index (victim.go); pickVictimScan is the O(totalBlocks) reference the
+// index provably matches, retained as the differential-test oracle.
 func (f *FTL) pickVictim(maxValid int) int {
+	v := f.pick(maxValid)
+	if f.victimOracle {
+		if s := f.pickVictimScan(maxValid); s != v {
+			panic(fmt.Sprintf("ftl: victim index diverged from scan: policy %s maxValid %d index %d scan %d",
+				f.cfg.GCPolicy, maxValid, v, s))
+		}
+	}
+	return v
+}
+
+// pickVictimScan is the linear-scan reference implementation of victim
+// selection: ascending block index, first-encountered block wins ties.
+func (f *FTL) pickVictimScan(maxValid int) int {
 	best := -1
 	bestValid := int32(maxValid)
 	var bestWear uint32
@@ -1082,8 +1214,20 @@ func (f *FTL) collectBlock(b int) {
 	} else {
 		f.stats.DeadReclaims++
 	}
-	f.cfg.Tracer.Emit(f.eng.Now(), trace.KindGCVictim, int64(b),
-		fmt.Sprintf("valid=%d", f.validCount[b]))
+	if f.cfg.Tracer != nil {
+		f.cfg.Tracer.Emit(f.eng.Now(), trace.KindGCVictim, int64(b),
+			fmt.Sprintf("valid=%d", f.validCount[b]))
+	}
+	// Detach the victim from the index for the duration of the collection:
+	// migration mutates its valid count directly, and the invariant checker
+	// tolerates exactly one detached closed block (gcVictim). Victims from
+	// pickVictim are always closed and linked; the linked check keeps
+	// direct collection of a still-open block (tests) legal.
+	if f.vix.linked[b] {
+		f.vixRemove(b)
+	}
+	prevVictim := f.gcVictim
+	f.gcVictim = b
 	slotsPerBlock := f.pagesPerBlk * f.slotsPerPage
 	base := f.slotID(b, 0, 0)
 
@@ -1097,7 +1241,7 @@ func (f *FTL) collectBlock(b int) {
 		if p := f.slotPage(sid); p != lastPage {
 			lastPage = p
 			f.stats.ReadsByTag[TagGC]++
-			f.array.ReadPage(b, p, f.array.Geometry().PageSize)
+			f.array.ReadPageNoWait(b, p, f.array.Geometry().PageSize)
 		}
 	}
 	// migrate pass: rewrite valid slots through the GC stream, moving
@@ -1113,9 +1257,14 @@ func (f *FTL) collectBlock(b int) {
 			f.l2p[lun] = -1
 			f.noteMapDirty(1)
 		}
+		if f.refcnt[sid] > 1 {
+			if ov, ok := f.revOverflow[sid]; ok {
+				f.recycleOv(ov)
+				delete(f.revOverflow, sid)
+			}
+		}
 		f.refcnt[sid] = 0
 		f.rev[sid] = -1
-		delete(f.revOverflow, sid)
 		f.validCount[b]--
 
 		newSid := f.appendSlot(StreamGC, luns[0], TagGC)
@@ -1129,12 +1278,22 @@ func (f *FTL) collectBlock(b int) {
 	f.Sync(StreamGC, TagGC)
 	f.validCount[b] = 0
 	f.rlog.noteErase(base, int64(slotsPerBlock))
-	f.array.EraseBlock(b)
+	f.array.EraseBlockNoWait(b)
 	f.releaseBlock(b)
+	f.gcVictim = prevVictim
 	f.cfg.Injector.Hit(inject.SiteGCMigrate)
 }
 
-// HasReclaimable reports whether background GC would find a cheap victim.
-func (f *FTL) HasReclaimable() bool {
-	return f.pickVictim(f.pagesPerBlk*f.slotsPerPage/4) >= 0
+// HasCheapVictim reports whether background GC would find a cheap victim —
+// a closed block with fewer than slotsPerBlock/4 valid slots, the same
+// threshold BackgroundGC collects under. The deallocator probes this on
+// every idle tick, which used to cost a full block scan; now it is O(1)
+// plus the amortized cost of re-bucketing blocks invalidated since the
+// last index read.
+func (f *FTL) HasCheapVictim() bool {
+	f.vixFlush()
+	return f.vix.cheapCount > 0
 }
+
+// HasReclaimable reports whether background GC would find a cheap victim.
+func (f *FTL) HasReclaimable() bool { return f.HasCheapVictim() }

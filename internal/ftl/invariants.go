@@ -23,6 +23,10 @@ import (
 //     and never exceeds what was written to the block.
 //  4. The free-block pool is consistent: freeCount matches the per-die free
 //     lists and the block state array, and free blocks hold no live slots.
+//  5. The GC victim index mirrors block state exactly: every closed block
+//     (bar one mid-collection victim) is linked in the bucket matching its
+//     valid count, bucket counts/bitmap/cached-best/cheapCount all agree,
+//     and each stream's partial-page marker matches its frontiers.
 func (f *FTL) CheckInvariants() error {
 	const maxViolations = 8
 	var violations []string
@@ -116,6 +120,23 @@ func (f *FTL) CheckInvariants() error {
 	}
 	if f.freeCount != freeStates || f.freeCount != inLists {
 		report("free accounting: freeCount %d, %d free states, %d listed", f.freeCount, freeStates, inLists)
+	}
+
+	// 5: victim index and partial-page markers.
+	f.checkVictimIndex(report)
+	for s := Stream(0); s < numStreams; s++ {
+		want := -1
+		for i := range f.fronts[s] {
+			if len(f.fronts[s][i].fillLSNs) > 0 {
+				if want >= 0 {
+					report("stream %d has partial pages on frontiers %d and %d", s, want, i)
+				}
+				want = i
+			}
+		}
+		if f.partial[s] != want {
+			report("stream %d partial marker %d, want %d", s, f.partial[s], want)
+		}
 	}
 
 	if len(violations) == 0 {

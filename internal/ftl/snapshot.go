@@ -161,5 +161,22 @@ func (f *FTL) Restore(st *FTLState) error {
 
 	f.gcDepth = 0
 	f.stats = st.stats
+
+	// Derived structures: the victim index is a pure function of
+	// (state, validCount) — rebuilding it yields the same victim sequence
+	// as the incrementally maintained one (see victim.go), so FTLState
+	// carries no index fields. Likewise the partial-page markers follow
+	// from the restored frontiers.
+	f.gcVictim = -1
+	f.rebuildVictimIndex()
+	for s := Stream(0); s < numStreams; s++ {
+		f.partial[s] = -1
+		for i := range f.fronts[s] {
+			if len(f.fronts[s][i].fillLSNs) > 0 {
+				f.partial[s] = i
+				break
+			}
+		}
+	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 	"unicode/utf8"
 
@@ -46,6 +47,11 @@ type Opts struct {
 	// tables are byte-identical either way — the snapshot restores the
 	// exact post-load state and runs are pure functions of their inputs.
 	Snapshots string
+	// Timing collects a per-cell wall-clock breakdown (load/run phases of
+	// every executed job), retrievable with DrainTimings after an
+	// experiment completes. Purely observational: experiment output is
+	// byte-identical with it on or off.
+	Timing bool
 }
 
 // snapshotsOn reports whether the template cache is enabled (the default).
@@ -223,21 +229,71 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 // Memoized results carry a nil DB; experiments that inspect the post-run DB
 // must use runJobsKeepDB.
 func runJobs(o Opts, jobs []runner.Job) ([]runner.Result, error) {
-	return runner.RunAllWith(jobs, runner.Options{
+	rs, err := runner.RunAllWith(jobs, runner.Options{
 		Parallelism: o.Parallelism,
 		Snapshots:   o.snapshotsOn(),
 		Memo:        o.snapshotsOn(),
 	})
+	if o.Timing {
+		recordTimings(rs)
+	}
+	return rs, err
 }
 
 // runJobsKeepDB is runJobs without memoization: every result keeps its DB
 // for post-run inspection (recovery simulation, energy and lifetime
 // accounting). Snapshot forking still applies.
 func runJobsKeepDB(o Opts, jobs []runner.Job) ([]runner.Result, error) {
-	return runner.RunAllWith(jobs, runner.Options{
+	rs, err := runner.RunAllWith(jobs, runner.Options{
 		Parallelism: o.Parallelism,
 		Snapshots:   o.snapshotsOn(),
 	})
+	if o.Timing {
+		recordTimings(rs)
+	}
+	return rs, err
+}
+
+// CellTiming is the wall-clock breakdown of one experiment cell (one
+// simulation run), in the order cells were submitted to the worker pool.
+type CellTiming struct {
+	Cell     string
+	Load     time.Duration
+	Run      time.Duration
+	Memoized bool
+}
+
+// cellTimings buffers breakdowns across runJobs calls; an experiment may
+// issue several sweeps, and sweeps may run on concurrent workers — results
+// are appended per completed sweep in submission order, so drains are
+// deterministic.
+var cellTimings struct {
+	mu   sync.Mutex
+	rows []CellTiming
+}
+
+func recordTimings(rs []runner.Result) {
+	cellTimings.mu.Lock()
+	defer cellTimings.mu.Unlock()
+	for i := range rs {
+		cellTimings.rows = append(cellTimings.rows, CellTiming{
+			Cell:     rs[i].Name,
+			Load:     rs[i].Timing.Load,
+			Run:      rs[i].Timing.Run,
+			Memoized: rs[i].Timing.Memoized,
+		})
+	}
+}
+
+// DrainTimings returns the cell timings collected since the previous drain
+// (under Opts.Timing) and clears the buffer. Callers drain once per
+// experiment to attribute cells to the experiment that ran them.
+func DrainTimings() []CellTiming {
+	cellTimings.mu.Lock()
+	defer cellTimings.mu.Unlock()
+	rows := cellTimings.rows
+	cellTimings.rows = nil
+	return rows
 }
 
 func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }

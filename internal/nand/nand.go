@@ -214,10 +214,9 @@ func (a *Array) MaxEraseCount() uint32 {
 	return max
 }
 
-// ReadPage reads nbytes of a page: the die is busy for tR, then the channel
-// carries the data to the controller. The returned future completes when the
-// data is in the controller.
-func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
+// readPageReserve books the die and channel time of one page read and
+// returns when the data lands in the controller.
+func (a *Array) readPageReserve(block, page, nbytes int) sim.VTime {
 	a.checkAddr(block, page)
 	bs := &a.blocks[block]
 	if page >= bs.nextPage {
@@ -235,10 +234,27 @@ func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
 	now := a.eng.Now()
 	_, dieDone := a.dies[die].Reserve(now, a.tim.CmdOverhead+a.tim.ReadPage)
 	_, xferDone := a.channels[ch].Reserve(dieDone, a.tim.TransferTime(nbytes))
+	return xferDone
+}
 
+// ReadPage reads nbytes of a page: the die is busy for tR, then the channel
+// carries the data to the controller. The returned future completes when the
+// data is in the controller.
+func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
+	xferDone := a.readPageReserve(block, page, nbytes)
 	f := sim.NewFuture(a.eng)
-	a.eng.At(xferDone, f.Complete)
+	a.eng.AtComplete(xferDone, f)
 	return f
+}
+
+// ReadPageNoWait is ReadPage for fire-and-forget callers (GC page reads):
+// identical reservations, counters and timing effects — later operations on
+// the same die and channel queue behind it just the same — but no future is
+// created and no kernel event scheduled. A discarded future's completion
+// event has no observable effect (nothing waits, and the clock it would
+// advance is per-event), so dropping it changes nothing but dispatch cost.
+func (a *Array) ReadPageNoWait(block, page, nbytes int) {
+	a.readPageReserve(block, page, nbytes)
 }
 
 // ProgramPage programs the next page of a block (flash programs pages in
@@ -246,6 +262,15 @@ func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
 // when the program finishes. Programming a full block panics — the FTL must
 // rotate to a fresh block.
 func (a *Array) ProgramPage(block, nbytes int) (page int, f *sim.Future) {
+	page, progDone := a.programPageReserve(block, nbytes)
+	f = sim.NewFuture(a.eng)
+	a.eng.AtComplete(progDone, f)
+	return page, f
+}
+
+// programPageReserve advances the block's program frontier and books the
+// channel and die time; it returns the programmed page and the finish time.
+func (a *Array) programPageReserve(block, nbytes int) (page int, progDone sim.VTime) {
 	a.checkAddr(block, 0)
 	bs := &a.blocks[block]
 	if bs.nextPage >= a.geo.PagesPerBlock {
@@ -266,16 +291,28 @@ func (a *Array) ProgramPage(block, nbytes int) (page int, f *sim.Future) {
 	// Data moves over the channel into the die's page register, then the
 	// die programs the cell array.
 	_, xferDone := a.channels[ch].Reserve(now, a.tim.TransferTime(nbytes))
-	_, progDone := a.dies[die].Reserve(xferDone, a.tim.CmdOverhead+a.tim.ProgramPage)
+	_, progDone = a.dies[die].Reserve(xferDone, a.tim.CmdOverhead+a.tim.ProgramPage)
+	return page, progDone
+}
 
-	f = sim.NewFuture(a.eng)
-	a.eng.At(progDone, f.Complete)
-	return page, f
+// ProgramPageNoWait is ProgramPage for fire-and-forget callers (metadata
+// page programs, whose durability the in-DRAM table makes moot): identical
+// reservations and counters, no future, no kernel event.
+func (a *Array) ProgramPageNoWait(block, nbytes int) (page int) {
+	page, _ = a.programPageReserve(block, nbytes)
+	return page
 }
 
 // EraseBlock erases a block, incrementing its P/E count. The future
 // completes when the erase finishes.
 func (a *Array) EraseBlock(block int) *sim.Future {
+	done := a.eraseBlockReserve(block)
+	f := sim.NewFuture(a.eng)
+	a.eng.AtComplete(done, f)
+	return f
+}
+
+func (a *Array) eraseBlockReserve(block int) sim.VTime {
 	a.checkAddr(block, 0)
 	bs := &a.blocks[block]
 	bs.eraseCount++
@@ -287,10 +324,13 @@ func (a *Array) EraseBlock(block int) *sim.Future {
 	die := a.geo.DieOfBlock(block)
 	now := a.eng.Now()
 	_, done := a.dies[die].Reserve(now, a.tim.CmdOverhead+a.tim.EraseBlock)
+	return done
+}
 
-	f := sim.NewFuture(a.eng)
-	a.eng.At(done, f.Complete)
-	return f
+// EraseBlockNoWait is EraseBlock for fire-and-forget callers (GC erases):
+// identical reservations and counters, no future, no kernel event.
+func (a *Array) EraseBlockNoWait(block int) {
+	a.eraseBlockReserve(block)
 }
 
 // ProgrammedPages returns how many pages of the block are programmed.

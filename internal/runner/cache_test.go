@@ -39,7 +39,7 @@ func TestRunWithSnapshotsSharesLoad(t *testing.T) {
 	t.Cleanup(ResetCaches)
 	var directRuns atomic.Int64
 	orig := execute
-	execute = func(j Job) (*checkin.DB, *checkin.Metrics, error) {
+	execute = func(j Job) (*checkin.DB, *checkin.Metrics, Timing, error) {
 		directRuns.Add(1)
 		return orig(j)
 	}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	checkin "github.com/checkin-kv/checkin"
 )
@@ -38,23 +39,46 @@ type Result struct {
 	DB *checkin.DB
 	// Metrics holds the run's measurements. Nil when Err is set.
 	Metrics *checkin.Metrics
+	// Timing is the wall-clock breakdown of this job's phases.
+	Timing Timing
 	// Err reports an Open/Run failure, or a contained worker panic.
 	Err error
 }
 
+// Timing is the wall-clock phase breakdown of one executed job. Wall-clock
+// only — the simulated system keeps its own virtual clock, which timing
+// collection never touches, so results stay byte-identical with or without
+// observers.
+type Timing struct {
+	// Load is the time spent producing the post-load state: a full load
+	// simulation on the direct path, or the template lookup + fork on the
+	// snapshot path (the job that builds a template is charged its build).
+	Load time.Duration
+	// Run is the time spent executing the measured workload phase.
+	Run time.Duration
+	// Memoized marks a job that shared another job's memoized run; its
+	// Load/Run are (near-)zero because no simulation happened.
+	Memoized bool
+}
+
 // execute runs one job start to finish. It is a variable so tests can
 // substitute failure modes that the public config surface cannot reach.
-var execute = func(j Job) (*checkin.DB, *checkin.Metrics, error) {
+var execute = func(j Job) (*checkin.DB, *checkin.Metrics, Timing, error) {
+	var tm Timing
 	db, err := checkin.Open(j.Config)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
+	t0 := time.Now()
 	db.Load()
+	tm.Load = time.Since(t0)
+	t0 = time.Now()
 	m, err := db.Run(j.Spec)
+	tm.Run = time.Since(t0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
-	return db, m, nil
+	return db, m, tm, nil
 }
 
 // runJob executes one job with panic containment: a panicking simulation
@@ -68,7 +92,7 @@ func runJob(j Job, o Options) (res Result) {
 			res.Err = fmt.Errorf("runner: job %q panicked: %v", j.Name, r)
 		}
 	}()
-	res.DB, res.Metrics, res.Err = executeJob(j, o)
+	res.DB, res.Metrics, res.Timing, res.Err = executeJob(j, o)
 	return res
 }
 

@@ -84,7 +84,7 @@ func TestRunErrorPropagation(t *testing.T) {
 func TestRunPanicContainment(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
-	execute = func(j Job) (*checkin.DB, *checkin.Metrics, error) {
+	execute = func(j Job) (*checkin.DB, *checkin.Metrics, Timing, error) {
 		if j.Name == "boom" {
 			panic("simulated invariant violation")
 		}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSchedulingAllocs guards the kernel's steady-state allocation budget:
+// once the event heap has grown to workload capacity, scheduling and
+// dispatching events — both the closure form (At/Schedule) and the
+// future-completion form (AtComplete) — must not allocate. The nand layer
+// completes every flash operation through AtComplete, so a regression here
+// taxes every simulated I/O.
+func TestSchedulingAllocs(t *testing.T) {
+	e := NewEngine()
+	noop := func() {}
+	for i := 0; i < 256; i++ {
+		e.Schedule(VTime(i), noop)
+	}
+	e.Run()
+
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			e.Schedule(VTime(i+1), noop)
+		}
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("steady-state Schedule/dispatch allocates %.2f/op, want 0", n)
+	}
+
+	fut := NewFuture(e)
+	_ = fut
+	if n := testing.AllocsPerRun(100, func() {
+		f := CompletedFuture(e)
+		if !f.Done() {
+			t.Fatal("shared completed future not done")
+		}
+	}); n != 0 {
+		t.Fatalf("CompletedFuture allocates %.2f/op, want 0", n)
+	}
+}
+
+// TestAtCompleteOrder locks in that AtComplete is observably identical to
+// At(t, f.Complete): the future flips to done in strict (time, issue-order)
+// sequence, and its waiters are deferred behind already-queued same-time
+// events (Complete schedules them as fresh events) — the determinism
+// contract every FTL latency measurement rests on.
+func TestAtCompleteOrder(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	f1 := NewFuture(e)
+	f1.OnComplete(func() { log = append(log, 2) })
+	f2 := NewFuture(e)
+	f2.OnComplete(func() { log = append(log, 3) })
+	e.At(5, func() { log = append(log, 0) })
+	e.AtComplete(5, f1)
+	e.At(5, func() {
+		if !f1.Done() {
+			t.Error("f1 not done by the same-time event queued after it")
+		}
+		log = append(log, 1)
+	})
+	e.AtComplete(7, f2)
+	e.Run()
+	want := []int{0, 1, 2, 3}
+	if len(log) != len(want) {
+		t.Fatalf("got %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("got %v, want %v", log, want)
+		}
+	}
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("AtComplete did not complete its futures")
+	}
+}

@@ -58,13 +58,22 @@ type event struct {
 	at  VTime
 	seq uint64 // tie-breaker: FIFO among same-time events
 	fn  func()
+	// fut, when non-nil, is completed instead of calling fn. Completing a
+	// future is the single most common event in the simulator (every flash
+	// operation ends in one), and carrying the future directly avoids
+	// allocating a fut.Complete method-value closure per operation.
+	fut *Future
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). The heap is hand
+// eventHeap is a 4-ary min-heap ordered by (at, seq). The heap is hand
 // rolled rather than built on container/heap: the interface-based API boxes
 // every event into an `any` on Push/Pop, which made the two calls the
 // largest allocation sites in the whole simulator (~40% of objects on the
-// paper's experiment suite).
+// paper's experiment suite). The fan-out of four halves the sift-down depth
+// versus a binary heap — pop is the hottest kernel operation once event
+// dispatch stops allocating — and since (at, seq) is a strict total order
+// (seq is unique), the dispatch sequence is identical to any other heap
+// arity: determinism does not depend on the internal shape.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -79,7 +88,7 @@ func (h *eventHeap) push(e event) {
 	*h = s
 	i := len(s) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !s.less(i, parent) {
 			break
 		}
@@ -98,15 +107,21 @@ func (h *eventHeap) pop() event {
 	*h = s
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && s.less(l, least) {
-			least = l
+		c := 4*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && s.less(r, least) {
-			least = r
+		least := c
+		hi := c + 4
+		if hi > n {
+			hi = n
 		}
-		if least == i {
+		for j := c + 1; j < hi; j++ {
+			if s.less(j, least) {
+				least = j
+			}
+		}
+		if !s.less(least, i) {
 			break
 		}
 		s[i], s[least] = s[least], s[i]
@@ -130,8 +145,26 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 
+	// nowq is the fast path for events scheduled at the current instant
+	// (Schedule(0, ...): future-waiter wake-ups, semaphore grants — the
+	// majority of all events). They bypass the heap entirely: entries are
+	// appended in seq order and the clock cannot advance while any are
+	// pending (the dispatcher always prefers the (at, seq)-least event,
+	// and a pending now-event's at equals the clock), so a plain FIFO ring
+	// preserves the exact (at, seq) total order the heap would produce.
+	// nowq[nowqHead:] are the pending entries, oldest first; the backing
+	// array rewinds when the queue drains, so steady state re-uses it.
+	nowq     []event
+	nowqHead int
+
 	liveProcs int
 	executed  uint64
+
+	// completed is the engine's shared already-done future. A completed
+	// future is immutable (OnComplete on a done future only schedules, and
+	// Complete on one always panics), so every fast path that finishes
+	// synchronously can hand out the same instance instead of allocating.
+	completed *Future
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -163,7 +196,36 @@ func (e *Engine) At(t VTime, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
 	}
 	e.seq++
+	if t == e.now {
+		e.nowPush(event{at: t, seq: e.seq, fn: fn})
+		return
+	}
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *Engine) nowPush(ev event) {
+	if e.nowqHead == len(e.nowq) {
+		// queue is empty: rewind so the backing array is reused
+		e.nowq = e.nowq[:0]
+		e.nowqHead = 0
+	}
+	e.nowq = append(e.nowq, ev)
+}
+
+// AtComplete completes f at absolute virtual time t — At(t, f.Complete)
+// without the per-call method-value allocation. It shares At's sequence
+// numbering, so ordering against fn events at the same instant is exactly
+// the submission order.
+func (e *Engine) AtComplete(t VTime, f *Future) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling completion at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	if t == e.now {
+		e.nowPush(event{at: t, seq: e.seq, fut: f})
+		return
+	}
+	e.events.push(event{at: t, seq: e.seq, fut: f})
 }
 
 // Stop makes Run return after the currently executing event.
@@ -180,14 +242,41 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline VTime) {
 	e.stopped = false
 	for !e.stopped {
-		at, ok := e.events.nextAt()
-		if !ok || at > deadline {
-			break
+		// Select the (at, seq)-least pending event across the now-queue
+		// and the heap — exactly the order a single heap would dispatch.
+		// A pending now-event sits at the current clock, so a heap event
+		// only precedes it via a smaller seq at the same instant (it was
+		// scheduled earlier, from further in the past).
+		var ev event
+		if e.nowqHead < len(e.nowq) {
+			nf := &e.nowq[e.nowqHead]
+			if at, ok := e.events.nextAt(); ok && (at < nf.at || (at == nf.at && e.events[0].seq < nf.seq)) {
+				if at > deadline {
+					break
+				}
+				ev = e.events.pop()
+			} else {
+				if nf.at > deadline {
+					break
+				}
+				ev = *nf
+				*nf = event{} // release the fn reference for GC
+				e.nowqHead++
+			}
+		} else {
+			at, ok := e.events.nextAt()
+			if !ok || at > deadline {
+				break
+			}
+			ev = e.events.pop()
 		}
-		ev := e.events.pop()
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		if ev.fut != nil {
+			ev.fut.Complete()
+		} else {
+			ev.fn()
+		}
 	}
 	if deadline != ^VTime(0) && e.now < deadline {
 		e.now = deadline
@@ -195,7 +284,7 @@ func (e *Engine) RunUntil(deadline VTime) {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + len(e.nowq) - e.nowqHead }
 
 // EngineState is the restorable kernel state: the virtual clock, the event
 // sequence counter (same-time tie-break order) and the executed-event count.
@@ -229,6 +318,11 @@ func (e *Engine) Restore(s EngineState) {
 		e.events[i] = event{} // release fn closures for GC
 	}
 	e.events = e.events[:0]
+	for i := range e.nowq {
+		e.nowq[i] = event{}
+	}
+	e.nowq = e.nowq[:0]
+	e.nowqHead = 0
 	e.now = s.Now
 	e.seq = s.Seq
 	e.executed = s.Executed
@@ -341,8 +435,15 @@ func (f *Future) addWaiter(fn func()) {
 func NewFuture(e *Engine) *Future { return &Future{eng: e} }
 
 // CompletedFuture returns an already-complete future (for fast paths that
-// finish synchronously).
-func CompletedFuture(e *Engine) *Future { return &Future{eng: e, done: true} }
+// finish synchronously). The instance is shared per engine: done futures
+// never mutate, so callers may wait on it, poll it, and register callbacks
+// freely — but must not call Complete on it (as on any done future).
+func CompletedFuture(e *Engine) *Future {
+	if e.completed == nil {
+		e.completed = &Future{eng: e, done: true}
+	}
+	return e.completed
+}
 
 // Done reports whether the future has completed.
 func (f *Future) Done() bool { return f.done }
@@ -380,7 +481,7 @@ func (f *Future) OnComplete(fn func()) {
 func AfterAll(e *Engine, fs []*Future) *Future {
 	n := len(fs)
 	if n == 0 {
-		return &Future{eng: e, done: true}
+		return CompletedFuture(e)
 	}
 	if n == 1 {
 		return fs[0]

@@ -32,9 +32,9 @@ func (d *Device) Snapshot() (*DeviceState, error) {
 	}
 	s := &DeviceState{stats: d.stats, bus: d.bus, cpu: d.cpu}
 	if d.cache != nil {
-		s.cacheUnits = make([]int64, 0, d.cache.ll.Len())
-		for el := d.cache.ll.Back(); el != nil; el = el.Prev() {
-			s.cacheUnits = append(s.cacheUnits, el.Value.(int64))
+		s.cacheUnits = make([]int64, 0, len(d.cache.index))
+		for sl := d.cache.tail; sl >= 0; sl = d.cache.prev[sl] {
+			s.cacheUnits = append(s.cacheUnits, d.cache.units[sl])
 		}
 	}
 	return s, nil
@@ -50,10 +50,11 @@ func (d *Device) Restore(s *DeviceState) {
 	d.bus = s.bus
 	d.cpu = s.cpu
 	if d.cache != nil {
-		d.cache.ll.Init()
-		clear(d.cache.index)
+		d.cache.reset()
 		for _, u := range s.cacheUnits {
-			d.cache.index[u] = d.cache.ll.PushFront(u)
+			sl := d.cache.alloc(u)
+			d.cache.pushFront(sl)
+			d.cache.index[u] = sl
 		}
 	}
 	// The constructor's tick event was discarded with the engine restore;

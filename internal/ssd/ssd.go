@@ -11,7 +11,6 @@
 package ssd
 
 import (
-	"container/list"
 	"fmt"
 
 	"github.com/checkin-kv/checkin/internal/ftl"
@@ -411,7 +410,7 @@ func (d *Device) deallocTick() {
 		// the foreground path never has to stall on a giant burst
 		n := d.f.BackgroundGCForce(d.cfg.BackgroundGCBatch)
 		d.stats.BackgroundGCs += uint64(n)
-	case d.f.Array().AllDiesIdleAt(now) && d.f.HasReclaimable():
+	case d.f.Array().AllDiesIdleAt(now) && d.f.HasCheapVictim():
 		n := d.f.BackgroundGC(d.cfg.BackgroundGCBatch)
 		d.stats.BackgroundGCs += uint64(n)
 	case d.f.Array().AllDiesIdleAt(now):
@@ -442,17 +441,90 @@ func (d *Device) ResumeDeallocator() {
 // ---------------------------------------------------------------------------
 // DRAM data cache (unit-granular LRU)
 
+// unitCache is an intrusive LRU over parallel slot arrays: next/prev hold
+// slot indices (-1 = none), head is the most recent entry and tail the
+// eviction candidate. Slots are recycled through a free list threaded over
+// next, so once the cache has been full the steady state allocates nothing —
+// unlike container/list, which pays one heap Element per insert (and boxed
+// the unit number on top). Churn-heavy workloads insert millions of times.
 type unitCache struct {
 	capacity int64
-	ll       *list.List // front = most recent; values are unit numbers
-	index    map[int64]*list.Element
+	units    []int64 // slot -> cached unit number
+	next     []int32 // slot -> next-older slot, or free-list link
+	prev     []int32 // slot -> next-newer slot
+	head     int32   // most recently used, -1 when empty
+	tail     int32   // least recently used, -1 when empty
+	freeHead int32   // free-list head, -1 when none
+	index    map[int64]int32
 }
 
 func newUnitCache(capUnits int64) *unitCache {
 	if capUnits < 1 {
 		return nil
 	}
-	return &unitCache{capacity: capUnits, ll: list.New(), index: make(map[int64]*list.Element)}
+	return &unitCache{capacity: capUnits, head: -1, tail: -1, freeHead: -1, index: make(map[int64]int32)}
+}
+
+// reset empties the cache, keeping slot-array capacity and map buckets for
+// reuse (Restore repopulates immediately after).
+func (c *unitCache) reset() {
+	c.units = c.units[:0]
+	c.next = c.next[:0]
+	c.prev = c.prev[:0]
+	c.head, c.tail, c.freeHead = -1, -1, -1
+	clear(c.index)
+}
+
+// alloc returns a slot for unit u, recycling from the free list when
+// possible. Slot-array growth stops once the cache reaches capacity.
+func (c *unitCache) alloc(u int64) int32 {
+	if s := c.freeHead; s >= 0 {
+		c.freeHead = c.next[s]
+		c.units[s] = u
+		return s
+	}
+	c.units = append(c.units, u)
+	c.next = append(c.next, -1)
+	c.prev = append(c.prev, -1)
+	return int32(len(c.units) - 1)
+}
+
+func (c *unitCache) pushFront(s int32) {
+	c.prev[s] = -1
+	c.next[s] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = s
+	}
+	c.head = s
+	if c.tail < 0 {
+		c.tail = s
+	}
+}
+
+func (c *unitCache) unlink(s int32) {
+	if p := c.prev[s]; p >= 0 {
+		c.next[p] = c.next[s]
+	} else {
+		c.head = c.next[s]
+	}
+	if n := c.next[s]; n >= 0 {
+		c.prev[n] = c.prev[s]
+	} else {
+		c.tail = c.prev[s]
+	}
+}
+
+func (c *unitCache) moveToFront(s int32) {
+	if c.head == s {
+		return
+	}
+	c.unlink(s)
+	c.pushFront(s)
+}
+
+func (c *unitCache) release(s int32) {
+	c.next[s] = c.freeHead
+	c.freeHead = s
 }
 
 func (d *Device) unitsOf(off, n int64) (first, last int64) {
@@ -471,8 +543,8 @@ func (d *Device) cacheLookup(off, n int64) int {
 	first, last := d.unitsOf(off, n)
 	miss := 0
 	for u := first; u <= last; u++ {
-		if el, ok := d.cache.index[u]; ok {
-			d.cache.ll.MoveToFront(el)
+		if s, ok := d.cache.index[u]; ok {
+			d.cache.moveToFront(s)
 			d.stats.CacheHits++
 		} else {
 			miss++
@@ -488,15 +560,18 @@ func (d *Device) cacheInsert(off, n int64) {
 	}
 	first, last := d.unitsOf(off, n)
 	for u := first; u <= last; u++ {
-		if el, ok := d.cache.index[u]; ok {
-			d.cache.ll.MoveToFront(el)
+		if s, ok := d.cache.index[u]; ok {
+			d.cache.moveToFront(s)
 			continue
 		}
-		d.cache.index[u] = d.cache.ll.PushFront(u)
-		if int64(d.cache.ll.Len()) > d.cache.capacity {
-			old := d.cache.ll.Back()
-			d.cache.ll.Remove(old)
-			delete(d.cache.index, old.Value.(int64))
+		s := d.cache.alloc(u)
+		d.cache.pushFront(s)
+		d.cache.index[u] = s
+		if int64(len(d.cache.index)) > d.cache.capacity {
+			old := d.cache.tail
+			d.cache.unlink(old)
+			delete(d.cache.index, d.cache.units[old])
+			d.cache.release(old)
 		}
 	}
 }
@@ -507,8 +582,9 @@ func (d *Device) cacheInvalidate(off, n int64) {
 	}
 	first, last := d.unitsOf(off, n)
 	for u := first; u <= last; u++ {
-		if el, ok := d.cache.index[u]; ok {
-			d.cache.ll.Remove(el)
+		if s, ok := d.cache.index[u]; ok {
+			d.cache.unlink(s)
+			d.cache.release(s)
 			delete(d.cache.index, u)
 		}
 	}
