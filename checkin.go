@@ -195,6 +195,35 @@ type Config struct {
 	// crash-consistency verification harness (internal/check); nil in
 	// production.
 	Injector *inject.Injector
+
+	// NAND reliability model (all rates zero — perfect flash — by default;
+	// zero rates leave every code path byte-identical to a build without
+	// the model). See nand.ReliabilityConfig and ErrorProfiles for named
+	// presets.
+	ReadRetryRate     float64 // P(page read needs ≥1 voltage-shift retry)
+	RetryEscalation   float64 // geometric continuation per extra retry step
+	UncorrectableRate float64 // P(read uncorrectable by the retry ladder)
+	ProgramFailRate   float64 // P(page program fails)
+	EraseFailRate     float64 // P(block erase fails → retirement)
+	WearErrorFactor   float64 // rate growth per erase cycle (wear-out)
+
+	// MaxReadRetries bounds the retry ladder (0 → 6).
+	MaxReadRetries int
+	// SpareBlocksPerDie reserves replacement blocks for grown bad blocks.
+	// 0 → 2 when the error model is enabled, none otherwise.
+	SpareBlocksPerDie int
+
+	// CommandTimeout, when nonzero, charges TimeoutBackoff extra on any
+	// device command whose back-end service exceeds it (the host-visible
+	// cost of a timeout/abort/retry exchange under error recovery).
+	CommandTimeout time.Duration
+	TimeoutBackoff time.Duration // 0 → 1ms when CommandTimeout is set
+}
+
+// errorModelEnabled reports whether any NAND fault rate is nonzero.
+func (c Config) errorModelEnabled() bool {
+	return c.ReadRetryRate > 0 || c.UncorrectableRate > 0 ||
+		c.ProgramFailRate > 0 || c.EraseFailRate > 0
 }
 
 // DefaultConfig returns the configuration used by the paper-reproduction
@@ -304,6 +333,17 @@ func withDefaults(cfg Config) Config {
 	if cfg.MappingUnit == 0 {
 		cfg.MappingUnit = cfg.Strategy.DefaultMappingUnit()
 	}
+	if cfg.errorModelEnabled() {
+		if cfg.SpareBlocksPerDie == 0 {
+			cfg.SpareBlocksPerDie = 2
+		}
+		if cfg.MaxReadRetries == 0 {
+			cfg.MaxReadRetries = 6
+		}
+	}
+	if cfg.CommandTimeout > 0 && cfg.TimeoutBackoff == 0 {
+		cfg.TimeoutBackoff = time.Millisecond
+	}
 	return cfg
 }
 
@@ -334,6 +374,22 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("checkin: %w", err)
 	}
 	array.MaxPE = uint32(cfg.MaxPECycles)
+	if cfg.errorModelEnabled() {
+		rcfg := nand.ReliabilityConfig{
+			ReadRetryRate:     cfg.ReadRetryRate,
+			RetryEscalation:   cfg.RetryEscalation,
+			UncorrectableRate: cfg.UncorrectableRate,
+			ProgramFailRate:   cfg.ProgramFailRate,
+			EraseFailRate:     cfg.EraseFailRate,
+			WearFactor:        cfg.WearErrorFactor,
+		}
+		// A fixed odd mixing constant decorrelates the fault stream from
+		// the workload RNGs derived from the same seed.
+		relSeed := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0x6e616e642d72656c
+		if err := array.EnableReliability(rcfg, relSeed); err != nil {
+			return nil, fmt.Errorf("checkin: %w", err)
+		}
+	}
 
 	fcfg := ftl.DefaultConfig()
 	fcfg.UnitSize = cfg.MappingUnit
@@ -365,6 +421,10 @@ func Open(cfg Config) (*DB, error) {
 	fcfg.Tracer = tracer
 	fcfg.Injector = cfg.Injector
 	fcfg.WearDeltaThreshold = cfg.WearDeltaThreshold
+	fcfg.MaxReadRetries = cfg.MaxReadRetries
+	if cfg.errorModelEnabled() {
+		fcfg.SpareBlocksPerDie = cfg.SpareBlocksPerDie
+	}
 	translation, err := ftl.New(eng, array, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("checkin: %w", err)
@@ -375,6 +435,8 @@ func Open(cfg Config) (*DB, error) {
 	dcfg.PCIeMBps = cfg.PCIeMBps
 	dcfg.CacheBytes = int64(cfg.DataCacheMB) << 20
 	dcfg.Injector = cfg.Injector
+	dcfg.CommandTimeout = sim.VTime(cfg.CommandTimeout.Nanoseconds())
+	dcfg.TimeoutBackoff = sim.VTime(cfg.TimeoutBackoff.Nanoseconds())
 	device, err := ssd.New(eng, translation, dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("checkin: %w", err)
@@ -466,3 +528,8 @@ func (db *DB) JournalStats() core.JournalStats { return db.engine.JournalStats()
 func (db *DB) SimulateSPOR() *ftl.SPORReport {
 	return db.device.SimulateSPOR()
 }
+
+// Health returns the device's reliability summary — grown bad blocks,
+// spare blocks left, and whether it degraded to read-only mode. All zero
+// unless the NAND error model is enabled.
+func (db *DB) Health() ftl.Health { return db.device.Health() }

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	checkin "github.com/checkin-kv/checkin"
 	"github.com/checkin-kv/checkin/internal/harness"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		timing     = flag.Bool("timing", false, "print a per-phase (load / run / render) wall-clock breakdown per cell after each experiment")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
+		errProfile = flag.String("errors", "off", "NAND error profile applied to every run: off | light | heavy")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -88,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checkin-bench: bad -snapshot %q (want on or off)\n", *snapshot)
 		os.Exit(2)
 	}
+	profile, err := checkin.ParseErrorProfile(*errProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkin-bench:", err)
+		os.Exit(2)
+	}
 	seedList := []int64{*seed}
 	if *seeds != "" {
 		seedList = seedList[:0]
@@ -117,7 +124,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing, Errors: profile.Name}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {

@@ -9,6 +9,8 @@
 //	checkin-sim -strategy Baseline -recover
 //	checkin-sim -crashpoints -strategy=Check-In -seed=3
 //	checkin-sim -crashpoints -strategy=Check-In -seed=3 -site=journal-commit -hit=17
+//	checkin-sim -strategy Check-In -errors heavy
+//	checkin-sim -crashpoints -strategy=Check-In -seed=2 -site=read-retry -hit=5 -errors=heavy
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 		crashpoints = flag.Bool("crashpoints", false, "run the crash-point verification harness instead of a benchmark")
 		site        = flag.String("site", "", "crashpoints: injection site name (empty = every site the census finds)")
 		hit         = flag.Int("hit", 0, "crashpoints: 1-based hit index of -site to crash at")
+		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
 	)
 	flag.Parse()
 
@@ -79,8 +82,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	profile, err := checkin.ParseErrorProfile(*errProfile)
+	if err != nil {
+		fatal(err)
+	}
 	if *crashpoints {
-		runCrashpoints(s, *seed, *site, *hit)
+		runCrashpoints(s, *seed, *site, *hit, profile.Name)
 		return
 	}
 	var mix checkin.Mix
@@ -106,6 +113,7 @@ func main() {
 	cfg.MappingUnit = *unit
 	cfg.Seed = *seed
 	cfg.LockDuringCheckpoint = *lock
+	cfg = profile.Apply(cfg)
 	if *dumpTrace {
 		cfg.TraceCapacity = 10_000
 	}
@@ -139,6 +147,14 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\n%s", m.Summary())
+	if profile.Name != "off" {
+		ns := db.Engine().Device().FTL().Array().Stats()
+		h := db.Health()
+		fmt.Printf("nand faults        %d retries, %d uncorrectable, %d program fails, %d erase fails\n",
+			ns.ReadRetries, ns.UncorrectableReads, ns.ProgramFails, ns.EraseFails)
+		fmt.Printf("device health      %d retired blocks, %d spares left, read-only=%v\n",
+			h.RetiredBlocks, h.SparesLeft, h.ReadOnly)
+	}
 	fmt.Printf("journal space overhead %.3f\n", m.JournalSpaceOverhead())
 	fmt.Printf("lifetime projection    %.0f (PEC*Top/BEC)\n", db.Lifetime())
 	fmt.Printf("wall time              %.2fs\n", time.Since(start).Seconds())
@@ -204,8 +220,11 @@ func main() {
 // for the strategy and seed: a census of every injection site the workload
 // reaches, then sampled armed crashes at each, validating host recovery,
 // device SPOR, and FTL invariants at every crash instant.
-func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int) {
+func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, errProfile string) {
 	opts := check.DefaultOptions()
+	if errProfile != "off" {
+		opts.Errors = errProfile
+	}
 	tr, err := check.NewTrace(opts, seed)
 	if err != nil {
 		fatal(err)

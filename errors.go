@@ -1,0 +1,83 @@
+package checkin
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrorProfile is a named preset of NAND fault rates for the reliability
+// model (Config's ReadRetryRate..WearErrorFactor fields). Profiles give the
+// CLI tools and the differential error matrix a small, shared vocabulary:
+// "off" is perfect flash (byte-identical to a build without the model),
+// "light" is a healthy mid-life drive, "heavy" is an end-of-life drive with
+// rates inflated so every fault path fires within short simulated runs.
+type ErrorProfile struct {
+	Name string
+
+	ReadRetryRate     float64
+	RetryEscalation   float64
+	UncorrectableRate float64
+	ProgramFailRate   float64
+	EraseFailRate     float64
+	WearErrorFactor   float64
+
+	SpareBlocksPerDie int
+	CommandTimeout    time.Duration
+}
+
+// ErrorProfiles lists the built-in presets.
+func ErrorProfiles() []ErrorProfile {
+	return []ErrorProfile{
+		{Name: "off"},
+		{
+			Name:              "light",
+			ReadRetryRate:     2e-3,
+			RetryEscalation:   0.3,
+			UncorrectableRate: 1e-5,
+			ProgramFailRate:   1e-5,
+			EraseFailRate:     1e-4,
+			WearErrorFactor:   1e-4,
+			SpareBlocksPerDie: 2,
+		},
+		{
+			Name:              "heavy",
+			ReadRetryRate:     0.05,
+			RetryEscalation:   0.5,
+			UncorrectableRate: 2e-3,
+			ProgramFailRate:   2e-3,
+			EraseFailRate:     0.05,
+			WearErrorFactor:   1e-3,
+			SpareBlocksPerDie: 4,
+			CommandTimeout:    20 * time.Millisecond,
+		},
+	}
+}
+
+// ParseErrorProfile resolves a preset by name.
+func ParseErrorProfile(name string) (ErrorProfile, error) {
+	for _, p := range ErrorProfiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, p := range ErrorProfiles() {
+		names = append(names, p.Name)
+	}
+	return ErrorProfile{}, fmt.Errorf("checkin: unknown error profile %q (want %s)",
+		name, strings.Join(names, ", "))
+}
+
+// Apply returns cfg with the profile's fault rates installed.
+func (p ErrorProfile) Apply(cfg Config) Config {
+	cfg.ReadRetryRate = p.ReadRetryRate
+	cfg.RetryEscalation = p.RetryEscalation
+	cfg.UncorrectableRate = p.UncorrectableRate
+	cfg.ProgramFailRate = p.ProgramFailRate
+	cfg.EraseFailRate = p.EraseFailRate
+	cfg.WearErrorFactor = p.WearErrorFactor
+	cfg.SpareBlocksPerDie = p.SpareBlocksPerDie
+	cfg.CommandTimeout = p.CommandTimeout
+	return cfg
+}

@@ -83,6 +83,12 @@ type Options struct {
 	// CrashesPerSite bounds how many distinct hits of each site are
 	// crash-tested per (strategy, seed).
 	CrashesPerSite int
+	// Errors names a checkin.ErrorProfile applied to every build ("" or
+	// "off" = perfect flash). With a profile on, the NAND fault model runs
+	// under the same deterministic schedule in the census and every armed
+	// run, so crash points and flash faults compose: a crash can land in
+	// the middle of a read-retry ladder or a bad-block migration.
+	Errors string
 }
 
 // DefaultOptions is sized so one (strategy, seed) matrix — census plus all
@@ -134,6 +140,13 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 	cfg.DataCacheMB = 1
 	cfg.WearDeltaThreshold = 3
 	cfg.Injector = inj
+	if opts.Errors != "" {
+		profile, err := checkin.ParseErrorProfile(opts.Errors)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg = profile.Apply(cfg)
+	}
 	db, err := checkin.Open(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -217,15 +230,20 @@ type CrashResult struct {
 	Strategy checkin.Strategy
 	Seed     int64
 	Site     inject.Site
-	Hit      int // 1-based hit index within the measured run
+	Hit      int    // 1-based hit index within the measured run
+	Errors   string // error profile the run was built with ("" = off)
 	Fired    bool
 	Err      error
 }
 
 // Repro renders the one-command reproduction line.
 func (r CrashResult) Repro() string {
-	return fmt.Sprintf("checkin-sim -crashpoints -strategy=%s -seed=%d -site=%s -hit=%d",
+	line := fmt.Sprintf("checkin-sim -crashpoints -strategy=%s -seed=%d -site=%s -hit=%d",
 		r.Strategy, r.Seed, r.Site, r.Hit)
+	if r.Errors != "" {
+		line += fmt.Sprintf(" -errors=%s", r.Errors)
+	}
+	return line
 }
 
 func (r CrashResult) String() string {
@@ -244,7 +262,7 @@ func (r CrashResult) String() string {
 // validation runs; the simulation then continues to completion so the
 // armed run's hit counting stays comparable to the census.
 func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, tr *checkin.Trace, opts Options) CrashResult {
-	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit}
+	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit, Errors: opts.Errors}
 	inj := inject.New()
 	db, model, err := Build(strategy, seed, opts, inj)
 	if err != nil {
@@ -274,12 +292,20 @@ func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, 
 // evenly across each site's schedule (first, middle, last...). The census
 // is returned so callers can assert site coverage.
 func CrashMatrix(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options) ([]CrashResult, *Census, error) {
+	return CrashMatrixSites(strategy, seed, tr, opts, inject.Sites())
+}
+
+// CrashMatrixSites is CrashMatrix restricted to a subset of sites. The
+// error matrix uses it to arm only the NAND fault sites (plus a couple of
+// core sites, proving composition) without re-testing every crash point the
+// zero-rate matrix already covers.
+func CrashMatrixSites(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options, sites []inject.Site) ([]CrashResult, *Census, error) {
 	census, _, _, err := RunCensus(strategy, seed, tr, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	var results []CrashResult
-	for _, site := range inject.Sites() {
+	for _, site := range sites {
 		n := census.RunHits[site]
 		if n == 0 {
 			continue

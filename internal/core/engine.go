@@ -314,6 +314,13 @@ func (en *Engine) Get(p *sim.Proc, key int64) {
 // wait for its group commit.
 func (en *Engine) Update(p *sim.Proc, key int64, size int) {
 	en.gate(p)
+	if en.dev.ReadOnly() {
+		// The device degraded to read-only (spare blocks exhausted): refuse
+		// the write instead of journaling an update that cannot persist.
+		// Reads keep being served — graceful degradation.
+		en.metrics.RejectedWrites++
+		return
+	}
 	// If the active half cannot absorb the log, stall until the running
 	// checkpoint frees the alternate half (back-pressure).
 	for en.jr.WouldOverflow(size) {

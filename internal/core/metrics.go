@@ -38,6 +38,10 @@ type Metrics struct {
 	// HostCacheHits counts reads served from the host block cache.
 	HostCacheHits uint64
 
+	// RejectedWrites counts write queries refused because the device
+	// degraded to read-only mode (NAND spare pool exhausted).
+	RejectedWrites uint64
+
 	// Timeline holds periodic samples when RunSpec.SampleInterval is set.
 	Timeline *stats.Timeline
 
@@ -228,5 +232,8 @@ func (m *Metrics) Summary() string {
 	fmt.Fprintf(&b, "flash amplification %.2fx\n", m.FlashAmplification())
 	fmt.Fprintf(&b, "redundant writes   %d\n", m.RedundantWrites())
 	fmt.Fprintf(&b, "gc invocations     %d\n", m.GCCount())
+	if m.RejectedWrites > 0 {
+		fmt.Fprintf(&b, "rejected writes    %d (device read-only)\n", m.RejectedWrites)
+	}
 	return b.String()
 }

@@ -151,6 +151,25 @@ type Config struct {
 
 	// GCPolicy selects the victim policy (default GCGreedy).
 	GCPolicy GCPolicy
+
+	// MaxReadRetries bounds the voltage-shift read-retry ladder when the
+	// array's reliability model reports a read error (0 = default 6). An
+	// uncorrectable read walks the whole ladder and then pays the
+	// soft-decision decode latency.
+	MaxReadRetries int
+
+	// RetryStepLatency is the per-step voltage-shift setup cost added on
+	// top of each retry read (0 = default 80µs).
+	RetryStepLatency sim.VTime
+
+	// SoftDecodeLatency is the soft-decision (LDPC soft-read) decode cost
+	// of an uncorrectable page (0 = default 400µs).
+	SoftDecodeLatency sim.VTime
+
+	// SpareBlocksPerDie reserves erased blocks per die that replace blocks
+	// retired after program/erase failures. When the pool is exhausted the
+	// FTL degrades to read-only. 0 reserves nothing (reliability off).
+	SpareBlocksPerDie int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -219,6 +238,14 @@ type Stats struct {
 
 	// WearLevelMoves counts static wear-leveling migrations.
 	WearLevelMoves uint64
+
+	// Reliability-path counters (all zero when the NAND fault model is off).
+	// ProgramFailMoves counts page buffers restaged on a fresh block after a
+	// program failure; RetiredBlocks counts blocks permanently retired;
+	// ReadReclaims counts blocks scrubbed after an uncorrectable read.
+	ProgramFailMoves uint64
+	RetiredBlocks    uint64
+	ReadReclaims     uint64
 }
 
 // RedundantWrites returns the paper's "duplicate writes" metric: programs
@@ -234,12 +261,24 @@ const (
 	blockFree blockState = iota
 	blockOpen
 	blockClosed
+	// blockSpare blocks sit in the reserved replacement pool: erased, never
+	// allocated, promoted to blockFree when a retirement consumes them.
+	blockSpare
+	// blockBad blocks are permanently retired (grown bad blocks): their live
+	// data has migrated and they never rejoin any pool.
+	blockBad
 )
 
 type frontier struct {
 	block    int // -1 when no block is open
 	fillLSNs []int64
 	fillTag  Tag // origin of the currently buffered slots
+
+	// relocBase is the slot id of buffered slot 0 after a program failure
+	// relocated this frontier's page buffer — transient signal from
+	// handleProgramFail back to the appendSlot call still on the stack,
+	// which re-derives the slot id it is about to return. Not state.
+	relocBase int64
 }
 
 // FTL is the flash translation layer instance.
@@ -274,6 +313,22 @@ type FTL struct {
 
 	freeByDie [][]int
 	freeCount int
+
+	// Reliability state: the spare-block replacement pool, retired-block
+	// count, the read-only degradation latch, and the deferred fault-handling
+	// queues (see reliability.go). pendingMark dedups queue membership.
+	spareByDie     [][]int
+	spareCount     int
+	badCount       int
+	readOnly       bool
+	pendingRetire  []int
+	pendingReclaim []int
+	pendingMark    []uint8
+
+	// Resolved read-recovery parameters (Config defaults applied).
+	maxRetries int
+	retryLat   sim.VTime
+	softLat    sim.VTime
 
 	fronts [numStreams][]frontier
 	rr     [numStreams]int
@@ -392,6 +447,32 @@ func New(eng *sim.Engine, array *nand.Array, cfg Config) (*FTL, error) {
 		f.freeByDie[d] = append(f.freeByDie[d], b)
 	}
 	f.freeCount = f.totalBlocks
+
+	f.spareByDie = make([][]int, dies)
+	f.pendingMark = make([]uint8, f.totalBlocks)
+	for d := range f.freeByDie {
+		for i := 0; i < cfg.SpareBlocksPerDie && len(f.freeByDie[d]) > 0; i++ {
+			last := len(f.freeByDie[d]) - 1
+			b := f.freeByDie[d][last]
+			f.freeByDie[d] = f.freeByDie[d][:last]
+			f.freeCount--
+			f.state[b] = blockSpare
+			f.spareByDie[d] = append(f.spareByDie[d], b)
+			f.spareCount++
+		}
+	}
+	f.maxRetries = cfg.MaxReadRetries
+	if f.maxRetries == 0 {
+		f.maxRetries = 6
+	}
+	f.retryLat = cfg.RetryStepLatency
+	if f.retryLat == 0 {
+		f.retryLat = 80 * sim.Microsecond
+	}
+	f.softLat = cfg.SoftDecodeLatency
+	if f.softLat == 0 {
+		f.softLat = 400 * sim.Microsecond
+	}
 
 	par := cfg.Parallelism
 	if par > dies {
@@ -615,6 +696,16 @@ func (f *FTL) programMetaPage() {
 	idx := f.rr[StreamMeta] % len(f.fronts[StreamMeta])
 	f.rr[StreamMeta]++
 	fr, block := f.openFrontier(StreamMeta, idx)
+	for f.array.SampleProgramFail(block) {
+		// Metadata pages are superseded by the in-DRAM table the moment
+		// they are written, so nothing is restaged: charge the ruined page,
+		// condemn the block, and move the frontier.
+		f.array.ProgramFailedAttempt(block, f.array.Geometry().PageSize)
+		f.written[block] += int32(f.slotsPerPage)
+		f.noteProgramFail(block, StreamMeta, 0)
+		fr.block = -1
+		fr, block = f.openFrontier(StreamMeta, idx)
+	}
 	f.written[block] += int32(f.slotsPerPage)
 	f.stats.DeadPaddingSlots += 0 // metadata pages are whole-page writes
 	f.array.ProgramPageNoWait(block, f.array.Geometry().PageSize)
@@ -722,7 +813,13 @@ func (f *FTL) appendSlot(s Stream, lun int64, tag Tag) int64 {
 	f.rlog.noteWrite(sid, lun)
 
 	if len(fr.fillLSNs) == f.slotsPerPage {
-		f.programOpenPage(s, idx, tag)
+		fr.relocBase = -1
+		f.programPage(s, idx, tag, true)
+		if fr.relocBase >= 0 {
+			// a program failure relocated the buffer mid-call: the slot just
+			// appended lives on the replacement block now
+			sid = fr.relocBase + int64(slot)
+		}
 	} else {
 		f.partial[s] = idx
 	}
@@ -733,11 +830,22 @@ func (f *FTL) appendSlot(s Stream, lun int64, tag Tag) int64 {
 // idx, attributing it to the tag of the buffered slots (a flush should not
 // re-tag pages another path staged).
 func (f *FTL) programOpenPage(s Stream, idx int, tag Tag) {
+	f.programPage(s, idx, tag, false)
+}
+
+// programPage is programOpenPage with the append-in-flight marker: when
+// inflight is set, the last buffered slot belongs to an appendSlot call
+// still on the stack, which re-derives its slot id (frontier.relocBase) if
+// a program failure relocates the buffer.
+func (f *FTL) programPage(s Stream, idx int, tag Tag, inflight bool) {
 	fr := &f.fronts[s][idx]
 	if fr.block < 0 || len(fr.fillLSNs) == 0 {
 		return
 	}
 	tag = fr.fillTag
+	for f.array.SampleProgramFail(fr.block) {
+		f.handleProgramFail(s, idx, inflight)
+	}
 	block := fr.block
 	fill := len(fr.fillLSNs)
 	dead := f.slotsPerPage - fill
@@ -805,6 +913,7 @@ func (f *FTL) Sync(s Stream, tag Tag) *sim.Future {
 		out = sim.AfterAll(f.eng, pending)
 	}
 	f.syncFuts = pending[:0]
+	f.DrainFaults()
 	return out
 }
 
@@ -836,13 +945,14 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 			// partial overwrite of live data: read-modify-write
 			f.stats.HostRMWReads++
 			f.stats.ReadsByTag[tag]++
-			futs = append(futs, f.array.ReadPage(f.slotBlock(old), f.slotPage(old), f.unit))
+			futs = append(futs, f.readFlash(f.slotBlock(old), f.slotPage(old), f.unit, true))
 		}
 		sid := f.appendSlot(s, lun, tag)
 		f.bindSlot(lun, sid)
 	}
 	all := sim.AfterAll(f.eng, futs)
 	f.writeFuts = futs[:0]
+	f.DrainFaults()
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -887,11 +997,12 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 		f.stats.ReadsByTag[TagHostData]++
 		block := int(pid / int64(f.pagesPerBlk))
 		page := int(pid % int64(f.pagesPerBlk))
-		futs = append(futs, f.array.ReadPage(block, page, int(f.pageCount[pid])*f.unit))
+		futs = append(futs, f.readFlash(block, page, int(f.pageCount[pid])*f.unit, true))
 	}
 	f.pageOrder = order[:0]
 	all := sim.AfterAll(f.eng, futs)
 	f.readFuts = futs[:0]
+	f.DrainFaults()
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -914,6 +1025,7 @@ func (f *FTL) Trim(off, n int64) {
 	f.rlog.noteTrim(first, last)
 	f.noteMapDirty(1)
 	f.maybeForegroundGC()
+	f.DrainFaults()
 }
 
 // trimUnmap is unmap without per-unit metadata accounting (Trim records a
@@ -988,13 +1100,13 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 		for l := sFirst; l <= sLast && !srcInBuffer; l++ {
 			if sid := f.l2p[l]; sid >= 0 && !f.isBuffered(sid) {
 				f.stats.ReadsByTag[TagCheckpoint]++
-				futs = append(futs, f.array.ReadPage(f.slotBlock(sid), f.slotPage(sid), f.unit))
+				futs = append(futs, f.readFlash(f.slotBlock(sid), f.slotPage(sid), f.unit, true))
 			}
 		}
 		if span < int64(f.unit) {
 			if old := f.l2p[dstLun]; old >= 0 && !f.isBuffered(old) {
 				f.stats.ReadsByTag[TagCheckpoint]++
-				futs = append(futs, f.array.ReadPage(f.slotBlock(old), f.slotPage(old), f.unit))
+				futs = append(futs, f.readFlash(f.slotBlock(old), f.slotPage(old), f.unit, true))
 			}
 		}
 		sid := f.appendSlot(StreamData, dstLun, TagCheckpoint)
@@ -1045,7 +1157,7 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 				f.stats.ReadsByTag[tag]++
 				block := int(pid / int64(f.pagesPerBlk))
 				page := int(pid % int64(f.pagesPerBlk))
-				futs = append(futs, f.array.ReadPage(block, page, f.unit*f.slotsPerPage))
+				futs = append(futs, f.readFlash(block, page, f.unit*f.slotsPerPage, true))
 			}
 		}
 	}
@@ -1228,6 +1340,30 @@ func (f *FTL) collectBlock(b int) {
 	}
 	prevVictim := f.gcVictim
 	f.gcVictim = b
+	f.migrateLive(b)
+	if f.array.SampleEraseFail(b) {
+		// The erase reported status FAIL: the block took the P/E stress but
+		// never reached the erased state — retire it in place of freeing it.
+		f.array.EraseFailedAttempt(b)
+		if f.cfg.Tracer != nil {
+			f.cfg.Tracer.Emit(f.eng.Now(), trace.KindEraseFail, int64(b), "")
+		}
+		f.retireBlock(b)
+		f.cfg.Injector.Hit(inject.SiteEraseFail)
+	} else {
+		f.array.EraseBlockNoWait(b)
+		f.releaseBlock(b)
+	}
+	f.gcVictim = prevVictim
+	f.cfg.Injector.Hit(inject.SiteGCMigrate)
+}
+
+// migrateLive moves every live slot of block b onto the GC stream — a read
+// pass (one flash read per page holding valid slots), a migrate pass that
+// rebinds every logical reference (shared slots keep their sharing), and a
+// GC-stream flush — then clears the block's recovery-log records. Callers
+// hold gcDepth so the migration's own appends cannot recurse into GC.
+func (f *FTL) migrateLive(b int) {
 	slotsPerBlock := f.pagesPerBlk * f.slotsPerPage
 	base := f.slotID(b, 0, 0)
 
@@ -1241,7 +1377,7 @@ func (f *FTL) collectBlock(b int) {
 		if p := f.slotPage(sid); p != lastPage {
 			lastPage = p
 			f.stats.ReadsByTag[TagGC]++
-			f.array.ReadPageNoWait(b, p, f.array.Geometry().PageSize)
+			f.readFlash(b, p, f.array.Geometry().PageSize, false)
 		}
 	}
 	// migrate pass: rewrite valid slots through the GC stream, moving
@@ -1278,10 +1414,6 @@ func (f *FTL) collectBlock(b int) {
 	f.Sync(StreamGC, TagGC)
 	f.validCount[b] = 0
 	f.rlog.noteErase(base, int64(slotsPerBlock))
-	f.array.EraseBlockNoWait(b)
-	f.releaseBlock(b)
-	f.gcVictim = prevVictim
-	f.cfg.Injector.Hit(inject.SiteGCMigrate)
 }
 
 // HasCheapVictim reports whether background GC would find a cheap victim —

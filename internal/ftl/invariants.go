@@ -102,11 +102,22 @@ func (f *FTL) CheckInvariants() error {
 		}
 	}
 
-	// 4: free pool.
-	freeStates := 0
+	// 4: free pool, spare pool and retired blocks.
+	freeStates, spareStates, badStates := 0, 0, 0
 	for b := 0; b < f.totalBlocks; b++ {
-		if f.state[b] == blockFree {
+		switch f.state[b] {
+		case blockFree:
 			freeStates++
+		case blockSpare:
+			spareStates++
+			if f.validCount[b] != 0 || f.written[b] != 0 {
+				report("spare block %d has validCount %d written %d", b, f.validCount[b], f.written[b])
+			}
+		case blockBad:
+			badStates++
+			if f.validCount[b] != 0 {
+				report("retired block %d still holds %d valid slots", b, f.validCount[b])
+			}
 		}
 	}
 	inLists := 0
@@ -120,6 +131,31 @@ func (f *FTL) CheckInvariants() error {
 	}
 	if f.freeCount != freeStates || f.freeCount != inLists {
 		report("free accounting: freeCount %d, %d free states, %d listed", f.freeCount, freeStates, inLists)
+	}
+	inSpares := 0
+	for _, l := range f.spareByDie {
+		for _, b := range l {
+			if f.state[b] != blockSpare {
+				report("spare list holds block %d in state %d", b, f.state[b])
+			}
+		}
+		inSpares += len(l)
+	}
+	if f.spareCount != spareStates || f.spareCount != inSpares {
+		report("spare accounting: spareCount %d, %d spare states, %d listed", f.spareCount, spareStates, inSpares)
+	}
+	if f.badCount != badStates {
+		report("retired accounting: badCount %d but %d blocks in state bad", f.badCount, badStates)
+	}
+	for _, b := range f.pendingRetire {
+		if f.pendingMark[b]&pendRetire == 0 || f.state[b] == blockFree || f.state[b] == blockBad {
+			report("pending retirement of block %d inconsistent (mark %d, state %d)", b, f.pendingMark[b], f.state[b])
+		}
+	}
+	for _, b := range f.pendingReclaim {
+		if f.pendingMark[b]&pendReclaim == 0 {
+			report("pending reclaim of block %d lost its queue mark", b)
+		}
 	}
 
 	// 5: victim index and partial-page markers.

@@ -68,6 +68,15 @@ func (r *recoveryLog) noteErase(base, slots int64) {
 	}
 }
 
+// clearSlot drops one slot's records without assigning a new sequence
+// number — used when a program failure relocates a buffered page and the
+// ruined page's OOB must not be scanned as live (a retired block is listed
+// in the bad-block table, which SPOR excludes).
+func (r *recoveryLog) clearSlot(sid int64) {
+	r.oob[sid] = oobRecord{}
+	delete(r.aliases, sid)
+}
+
 // SPORReport describes a simulated sudden-power-off recovery.
 type SPORReport struct {
 	ScannedPages  int

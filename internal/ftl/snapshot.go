@@ -27,6 +27,13 @@ type FTLState struct {
 	freeByDie [][]int
 	freeCount int
 
+	spareByDie     [][]int
+	spareCount     int
+	badCount       int
+	readOnly       bool
+	pendingRetire  []int
+	pendingReclaim []int
+
 	fronts [numStreams][]frontier
 	rr     [numStreams]int
 
@@ -72,6 +79,13 @@ func (f *FTL) Snapshot() (*FTLState, error) {
 		freeByDie: make([][]int, len(f.freeByDie)),
 		freeCount: f.freeCount,
 
+		spareByDie:     make([][]int, len(f.spareByDie)),
+		spareCount:     f.spareCount,
+		badCount:       f.badCount,
+		readOnly:       f.readOnly,
+		pendingRetire:  append([]int(nil), f.pendingRetire...),
+		pendingReclaim: append([]int(nil), f.pendingReclaim...),
+
 		rr: f.rr,
 
 		dirtyMapEntries: f.dirtyMapEntries,
@@ -90,6 +104,9 @@ func (f *FTL) Snapshot() (*FTLState, error) {
 	}
 	for i, blocks := range f.freeByDie {
 		st.freeByDie[i] = append([]int(nil), blocks...)
+	}
+	for i, blocks := range f.spareByDie {
+		st.spareByDie[i] = append([]int(nil), blocks...)
 	}
 	for s := Stream(0); s < numStreams; s++ {
 		st.fronts[s] = make([]frontier, len(f.fronts[s]))
@@ -134,6 +151,24 @@ func (f *FTL) Restore(st *FTLState) error {
 		f.freeByDie[i] = append(f.freeByDie[i][:0], blocks...)
 	}
 	f.freeCount = st.freeCount
+
+	for i, blocks := range st.spareByDie {
+		f.spareByDie[i] = append(f.spareByDie[i][:0], blocks...)
+	}
+	f.spareCount = st.spareCount
+	f.badCount = st.badCount
+	f.readOnly = st.readOnly
+	f.pendingRetire = append(f.pendingRetire[:0], st.pendingRetire...)
+	f.pendingReclaim = append(f.pendingReclaim[:0], st.pendingReclaim...)
+	for i := range f.pendingMark {
+		f.pendingMark[i] = 0
+	}
+	for _, b := range f.pendingRetire {
+		f.pendingMark[b] |= pendRetire
+	}
+	for _, b := range f.pendingReclaim {
+		f.pendingMark[b] |= pendReclaim
+	}
 
 	for s := Stream(0); s < numStreams; s++ {
 		for i, fr := range st.fronts[s] {

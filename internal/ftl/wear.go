@@ -27,10 +27,18 @@ type WearStats struct {
 func (f *FTL) WearStats() WearStats {
 	ws := WearStats{Moves: f.stats.WearLevelMoves}
 	var sum uint64
+	counted := 0
 	first := true
 	for b := 0; b < f.totalBlocks; b++ {
+		// Retired blocks stop being erased (their count is frozen) and
+		// spares have not started; including either would pin the spread
+		// and make the leveler chase blocks it can never move.
+		if f.state[b] == blockBad || f.state[b] == blockSpare {
+			continue
+		}
 		ec := f.array.EraseCount(b)
 		sum += uint64(ec)
+		counted++
 		if first {
 			ws.MinErase, ws.MaxErase = ec, ec
 			first = false
@@ -43,7 +51,9 @@ func (f *FTL) WearStats() WearStats {
 			ws.MaxErase = ec
 		}
 	}
-	ws.MeanErase = float64(sum) / float64(f.totalBlocks)
+	if counted > 0 {
+		ws.MeanErase = float64(sum) / float64(counted)
+	}
 	ws.Spread = ws.MaxErase - ws.MinErase
 	return ws
 }

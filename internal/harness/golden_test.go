@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenExperiments is the five-experiment sample the golden file pins: a
+// spread over the table kinds (machine config, amplification, redundant
+// writes, record-size patterns, recovery/SPOR).
+var goldenExperiments = []string{"table1", "fig3a", "fig8b", "fig13b", "recovery"}
+
+const goldenPath = "testdata/bench_golden.txt"
+
+// TestGoldenBenchOutput pins the rendered checkin-bench output for a small
+// sample byte-for-byte. The simulator is deterministic, so ANY diff here
+// means observable behaviour changed — timing model, FTL policy, metrics
+// arithmetic or table formatting. An intentional change regenerates the
+// file with:
+//
+//	CHECKIN_UPDATE_GOLDEN=1 go test ./internal/harness -run TestGoldenBenchOutput
+//
+// and the new golden diff rides along in the same commit, making the
+// behaviour change visible in review.
+func TestGoldenBenchOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep in -short mode")
+	}
+	var sb strings.Builder
+	for _, id := range goldenExperiments {
+		exp, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := exp.Run(tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		tab.Render(&sb)
+	}
+	got := sb.String()
+
+	if os.Getenv("CHECKIN_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file regenerated (%d bytes)", len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file unreadable (%v) — regenerate with CHECKIN_UPDATE_GOLDEN=1", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("bench output diverged from golden at line %d:\n  got:  %q\n  want: %q\n"+
+				"intentional change? regenerate with CHECKIN_UPDATE_GOLDEN=1 go test ./internal/harness -run TestGoldenBenchOutput",
+				i+1, g, w)
+		}
+	}
+	t.Fatal("bench output diverged from golden (line endings?)")
+}

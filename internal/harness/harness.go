@@ -52,6 +52,12 @@ type Opts struct {
 	// experiment completes. Purely observational: experiment output is
 	// byte-identical with it on or off.
 	Timing bool
+	// Errors names a checkin.ErrorProfile applied to every run's
+	// configuration ("" or "off" = perfect flash, the default). Nonzero
+	// profiles run every experiment on degrading hardware — read-retry
+	// latency, failed programs, retired blocks — and shift the reported
+	// numbers accordingly.
+	Errors string
 }
 
 // snapshotsOn reports whether the template cache is enabled (the default).
@@ -215,6 +221,15 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	cfg.Seed = o.Seed
 	cfg.Keys = 50_000
 	cfg.CheckpointInterval = 300 * time.Millisecond
+	if o.Errors != "" && o.Errors != "off" {
+		p, err := checkin.ParseErrorProfile(o.Errors)
+		if err != nil {
+			// Callers (cmd/checkin-bench, tests) validate the name up front;
+			// reaching here is a programming error, not a run-time condition.
+			panic(err)
+		}
+		cfg = p.Apply(cfg)
+	}
 	return cfg
 }
 

@@ -55,6 +55,24 @@ const (
 	// SiteWearLevel fires after a static wear-leveling migration.
 	SiteWearLevel
 
+	// The NAND-fault sites below fire only when the reliability model is
+	// enabled (nonzero error rates); census runs without it show zero hits
+	// and the matrix skips them.
+
+	// SiteReadRetry fires after a read-retry ladder completes (correctable
+	// or soft-decision recovered) — a crash here lands mid-read-recovery.
+	SiteReadRetry
+	// SiteProgramFail fires after a failed page program's buffer has been
+	// restaged on a fresh frontier block and the mapping rebound.
+	SiteProgramFail
+	// SiteEraseFail fires after a GC erase reports FAIL and the victim is
+	// retired in place of being freed.
+	SiteEraseFail
+	// SiteBadBlockRetire fires after a bad block's live data has migrated
+	// and a spare (if any) replaced it — a crash here lands mid-way through
+	// draining the retirement queue.
+	SiteBadBlockRetire
+
 	// NumSites is the catalog size.
 	NumSites
 )
@@ -82,6 +100,14 @@ func (s Site) String() string {
 		return "gc-migrate"
 	case SiteWearLevel:
 		return "wear-level"
+	case SiteReadRetry:
+		return "read-retry"
+	case SiteProgramFail:
+		return "program-fail"
+	case SiteEraseFail:
+		return "erase-fail"
+	case SiteBadBlockRetire:
+		return "bad-block-retire"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

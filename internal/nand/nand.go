@@ -146,6 +146,15 @@ type Stats struct {
 	// BytesRead / BytesProgrammed count payload moved over the buses.
 	BytesRead       uint64
 	BytesProgrammed uint64
+
+	// Reliability-model counters (all zero when the model is disabled).
+	// ReadRetries counts voltage-shift retry reads beyond the first read;
+	// UncorrectableReads counts reads that needed a soft-decision decode;
+	// ProgramFails / EraseFails count operations that reported status FAIL.
+	ReadRetries        uint64
+	UncorrectableReads uint64
+	ProgramFails       uint64
+	EraseFails         uint64
 }
 
 // Array is the simulated flash device.
@@ -159,6 +168,7 @@ type Array struct {
 	blocks   []blockState
 
 	stats Stats
+	rel   *relModel // nil unless EnableReliability installed nonzero rates
 
 	// MaxPE is the endurance rating used by the lifetime equation; 0 means
 	// "unspecified" and lifetime reports are skipped.

@@ -16,6 +16,7 @@ type ArrayState struct {
 	dies     []sim.FIFOResource
 	channels []sim.FIFOResource
 	stats    Stats
+	relRNG   uint64 // reliability PRNG position (0 when the model is off)
 }
 
 // Snapshot captures the array's mutable state. The array has no in-flight
@@ -31,6 +32,9 @@ func (a *Array) Snapshot() *ArrayState {
 	copy(s.blocks, a.blocks)
 	copy(s.dies, a.dies)
 	copy(s.channels, a.channels)
+	if a.rel != nil {
+		s.relRNG = a.rel.rng
+	}
 	return s
 }
 
@@ -45,5 +49,8 @@ func (a *Array) Restore(s *ArrayState) error {
 	copy(a.dies, s.dies)
 	copy(a.channels, s.channels)
 	a.stats = s.stats
+	if a.rel != nil {
+		a.rel.rng = s.relRNG
+	}
 	return nil
 }

@@ -88,6 +88,14 @@ type Config struct {
 	// ISCE sites (checkpoint copy/remap service, deallocate). Nil in
 	// production.
 	Injector *inject.Injector
+
+	// CommandTimeout, when nonzero, is the service-time budget per command:
+	// a command whose back-end work exceeds it (error-recovery ladders under
+	// the NAND fault model) completes only after an extra TimeoutBackoff —
+	// the host-visible cost of the timeout/abort/retry exchange. Zero
+	// disables detection entirely.
+	CommandTimeout sim.VTime
+	TimeoutBackoff sim.VTime
 }
 
 // DefaultConfig mirrors a mid-range NVMe datacenter SSD.
@@ -130,6 +138,9 @@ type Stats struct {
 	RemapEntries   uint64
 	Deallocates    uint64
 	BackgroundGCs  uint64
+	// Timeouts counts commands that blew the CommandTimeout budget and paid
+	// the backoff penalty (always zero unless a timeout is configured).
+	Timeouts uint64
 	// QueueWait records time commands spent waiting for a queue slot.
 	QueueWait stats1
 }
@@ -219,6 +230,15 @@ func (d *Device) LogicalBytes() int64 { return d.f.LogicalBytes() }
 // OOB-scan recovery (Section III-G); see ftl.FTL.SimulateSPOR.
 func (d *Device) SimulateSPOR() *ftl.SPORReport { return d.f.SimulateSPOR() }
 
+// ReadOnly reports whether the device degraded to read-only mode: block
+// retirements exhausted the spare pool, so new host writes are refused
+// while reads (and internal housekeeping) keep working.
+func (d *Device) ReadOnly() bool { return d.f.ReadOnly() }
+
+// Health surfaces the FTL's reliability summary (retired blocks, spares
+// left, read-only latch) over the device interface.
+func (d *Device) Health() ftl.Health { return d.f.Health() }
+
 // linkTime returns PCIe transfer time for n bytes.
 func (d *Device) linkTime(n int) sim.VTime {
 	if n <= 0 {
@@ -245,8 +265,20 @@ func (d *Device) submit(dataBytes int, cpuTime sim.VTime, op func() *sim.Future)
 			ready = cpuEnd
 		}
 		d.eng.At(ready, func() {
+			start := d.eng.Now()
 			inner := op()
 			inner.OnComplete(func() {
+				if d.cfg.CommandTimeout > 0 && d.eng.Now()-start > d.cfg.CommandTimeout {
+					// the command blew its service budget: the host timed it
+					// out and re-drove it, costing an extra backoff before
+					// completion is observed
+					d.stats.Timeouts++
+					d.eng.Schedule(d.cfg.TimeoutBackoff, func() {
+						d.queue.Release()
+						out.Complete()
+					})
+					return
+				}
 				d.queue.Release()
 				out.Complete()
 			})
@@ -404,6 +436,9 @@ func (d *Device) deallocTick() {
 		return
 	}
 	now := d.eng.Now()
+	// the tick is a safe depth for deferred fault handling (bad-block
+	// retirements, read-reclaim scrubs) queued since the last host op
+	d.f.DrainFaults()
 	switch {
 	case d.f.LowSpace():
 		// space pressure: reclaim a small batch even while busy so

@@ -29,6 +29,14 @@ const (
 	KindWearLevel
 	KindDeviceCommand
 	KindQueryStall
+	// NAND-fault events (reliability model): a read-retry ladder, a page
+	// program reporting FAIL, an erase reporting FAIL, a block retirement,
+	// and the device dropping to read-only after the spare pool drained.
+	KindReadRetry
+	KindProgramFail
+	KindEraseFail
+	KindBlockRetire
+	KindReadOnly
 	numKinds
 )
 
@@ -51,6 +59,16 @@ func (k Kind) String() string {
 		return "device-cmd"
 	case KindQueryStall:
 		return "query-stall"
+	case KindReadRetry:
+		return "read-retry"
+	case KindProgramFail:
+		return "program-fail"
+	case KindEraseFail:
+		return "erase-fail"
+	case KindBlockRetire:
+		return "block-retire"
+	case KindReadOnly:
+		return "read-only"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

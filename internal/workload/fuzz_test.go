@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// FuzzZipfian drives the scrambled-Zipfian generator over fuzzer-chosen
+// key-space sizes, skews and seeds, asserting the distribution invariants:
+// every drawn key lies in [0, n) and the stream is a pure function of the
+// seed (two generators over the same inputs agree draw for draw).
+func FuzzZipfian(f *testing.F) {
+	f.Add(int64(1), 0.99, int64(1))
+	f.Add(int64(50_000), 0.99, int64(7))
+	f.Add(int64(3), 0.5, int64(-12345))
+	f.Fuzz(func(t *testing.T, n int64, theta float64, seed int64) {
+		if n < 1 {
+			n = 1 - n%1_000_000 // fold negatives into a valid key space
+		}
+		if n > 1_000_000 {
+			n = n % 1_000_000
+			if n < 1 {
+				n = 1
+			}
+		}
+		if !(theta > 0 && theta < 1) {
+			t.Skip("theta outside the generator's domain")
+		}
+		z := NewZipfian(n, theta)
+		z2 := NewZipfian(n, theta)
+		rng, rng2 := sim.NewRNG(seed), sim.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			k := z.Next(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("draw %d: key %d out of [0, %d)", i, k, n)
+			}
+			if k2 := z2.Next(rng2); k2 != k {
+				t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, k, k2)
+			}
+		}
+	})
+}
+
+// FuzzLatest drives the latest distribution: arbitrary interleavings of
+// Note (recording writes of fuzzer-chosen keys) and Next must only ever
+// return in-range keys, from the freshly noted set or the seeded tail.
+func FuzzLatest(f *testing.F) {
+	f.Add(int64(10), 4, int64(1), []byte{0, 1, 2, 3})
+	f.Add(int64(50_000), 1024, int64(9), []byte{255, 0, 128})
+	f.Add(int64(1), 0, int64(3), []byte{})
+	f.Fuzz(func(t *testing.T, n int64, window int, seed int64, script []byte) {
+		if n < 1 {
+			n = 1 - n%1_000_000
+		}
+		if n > 1_000_000 {
+			n = n%1_000_000 + 1
+		}
+		if window < 0 || int64(window) > 1<<20 {
+			window = 0 // constructor default
+		}
+		l := NewLatest(n, window)
+		rng := sim.NewRNG(seed)
+		// script bytes alternate between noting a write (odd) and drawing
+		// (even), so recency churn and draws interleave arbitrarily.
+		for i, b := range script {
+			if b%2 == 1 {
+				l.Note(int64(b) % n)
+				continue
+			}
+			k := l.Next(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("step %d: key %d out of [0, %d)", i, k, n)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if k := l.Next(rng); k < 0 || k >= n {
+				t.Fatalf("draw %d: key %d out of [0, %d)", i, k, n)
+			}
+		}
+	})
+}
+
+// FuzzMixValidate checks the mix validator and the generator built on top
+// of it agree: a mix Validate accepts must be non-negative and sum to
+// exactly 100, and every operation generated under it must carry a valid
+// kind for its percentages and a positive scan length on scans.
+func FuzzMixValidate(f *testing.F) {
+	f.Add(50, 50, 0, 0, 0, 0, int64(1))
+	f.Add(25, 60, 10, 0, 5, 0, int64(2))
+	f.Add(95, 0, 0, 5, 0, -3, int64(3))
+	f.Add(0, 0, 0, 100, 0, 7, int64(4))
+	f.Fuzz(func(t *testing.T, read, update, rmw, scan, del, scanLen int, seed int64) {
+		m := Mix{ReadPct: read, UpdatePct: update, RMWPct: rmw, ScanPct: scan,
+			DeletePct: del, ScanLen: scanLen}
+		err := m.Validate()
+		sum := read + update + rmw + scan + del
+		valid := read >= 0 && update >= 0 && rmw >= 0 && scan >= 0 && del >= 0 && sum == 100
+		if (err == nil) != valid {
+			t.Fatalf("Validate() = %v for mix %+v (non-negative=%v sum=%d)", err, m, valid, sum)
+		}
+		if err != nil {
+			return
+		}
+		const keys = 100
+		gen, err := NewGenerator(Uniform{Keys: keys}, FixedSizer{Size: 128}, m, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatalf("NewGenerator rejected a valid mix: %v", err)
+		}
+		for i := 0; i < 300; i++ {
+			op := gen.Next()
+			if op.Key < 0 || op.Key >= keys {
+				t.Fatalf("op %d: key %d out of range", i, op.Key)
+			}
+			switch op.Kind {
+			case OpRead:
+				if read == 0 {
+					t.Fatalf("op %d: read generated with ReadPct 0", i)
+				}
+			case OpUpdate:
+				if update == 0 {
+					t.Fatalf("op %d: update generated with UpdatePct 0", i)
+				}
+			case OpReadModifyWrite:
+				if rmw == 0 {
+					t.Fatalf("op %d: RMW generated with RMWPct 0", i)
+				}
+			case OpScan:
+				if scan == 0 {
+					t.Fatalf("op %d: scan generated with ScanPct 0", i)
+				}
+				if op.ScanLen <= 0 {
+					t.Fatalf("op %d: scan length %d not positive", i, op.ScanLen)
+				}
+			case OpDelete:
+				if del == 0 {
+					t.Fatalf("op %d: delete generated with DeletePct 0", i)
+				}
+			default:
+				t.Fatalf("op %d: unknown kind %v", i, op.Kind)
+			}
+		}
+	})
+}

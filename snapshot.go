@@ -148,7 +148,17 @@ func LoadFingerprint(cfg Config) (uint64, bool) {
 		cfg.EraseLatency.Nanoseconds(), cfg.ChannelMBps, cfg.MaxPECycles)
 	fmt.Fprintf(h, "|ftl=%d/%v/%d/%s/%v/%d", cfg.MappingUnit, cfg.OverProvision,
 		cfg.MapCacheMB, cfg.GCPolicy, deferGC, cfg.WearDeltaThreshold)
-	fmt.Fprintf(h, "|dev=%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB)
+	fmt.Fprintf(h, "|dev=%d/%d/%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB,
+		cfg.CommandTimeout.Nanoseconds(), cfg.TimeoutBackoff.Nanoseconds())
+	fmt.Fprintf(h, "|rel=%v/%v/%v/%v/%v/%v/%d/%d", cfg.ReadRetryRate, cfg.RetryEscalation,
+		cfg.UncorrectableRate, cfg.ProgramFailRate, cfg.EraseFailRate,
+		cfg.WearErrorFactor, cfg.MaxReadRetries, cfg.SpareBlocksPerDie)
+	if cfg.errorModelEnabled() {
+		// The fault stream is seeded from Seed, and Load's writes draw from
+		// it — with the model enabled, Seed shapes post-Load state (unlike
+		// the perfect-flash case, where Load consults no RNG).
+		fmt.Fprintf(h, "|relseed=%d", cfg.Seed)
+	}
 	fmt.Fprintf(h, "|db=%d/%d|remap=%v|sizer=%016x", cfg.Keys, cfg.JournalHalfMB,
 		cfg.Strategy.UsesRemap(), sizerFingerprint(cfg.Records, cfg.Keys))
 	return h.Sum64(), true

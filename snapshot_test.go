@@ -240,3 +240,58 @@ func TestSnapshotGates(t *testing.T) {
 		t.Error("Seed did not change the full fingerprint")
 	}
 }
+
+// TestSnapshotForkDegradedDevice round-trips a device already degraded by
+// the NAND fault model: the heavy error profile makes the load phase itself
+// suffer program failures and block retirements, so the captured rest point
+// carries retired blocks, a drained (or partially drained) spare pool and a
+// mid-stream fault-RNG state. The fork must (1) satisfy the FTL invariants
+// immediately after restore, (2) replay the run phase byte-identically to a
+// direct load — which only holds if the fault stream resumes from the exact
+// captured state — and (3) satisfy the invariants again after the run.
+func TestSnapshotForkDegradedDevice(t *testing.T) {
+	profile, err := checkin.ParseErrorProfile("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := profile.Apply(snapTestConfig(checkin.StrategyCheckIn))
+	// The reduced load phase programs only a few hundred pages; inflate the
+	// program-failure rate so retirements deterministically land inside it.
+	cfg.ProgramFailRate = 0.02
+	spec := snapTestSpec()
+
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	if h := db.Health(); h.RetiredBlocks == 0 {
+		t.Fatalf("load under the heavy profile retired no blocks (health %+v) — test lost its degraded premise", h)
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fork, err := snap.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Engine().Device().FTL().CheckInvariants(); err != nil {
+		t.Fatalf("restored degraded device violates FTL invariants: %v", err)
+	}
+	if got, want := fork.Health(), db.Health(); got != want {
+		t.Fatalf("restored health %+v, want %+v", got, want)
+	}
+	m, err := fork.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runSignature(fork, m)
+	if want := directRun(t, cfg, spec); got != want {
+		t.Errorf("forked degraded run diverged from direct run:\n--- fork ---\n%s\n--- direct ---\n%s", got, want)
+	}
+	if err := fork.Engine().Device().FTL().CheckInvariants(); err != nil {
+		t.Errorf("degraded device violates FTL invariants after forked run: %v", err)
+	}
+}
