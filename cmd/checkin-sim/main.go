@@ -49,6 +49,7 @@ func main() {
 		site        = flag.String("site", "", "crashpoints: injection site name (empty = every site the census finds)")
 		hit         = flag.Int("hit", 0, "crashpoints: 1-based hit index of -site to crash at")
 		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
+		domains     = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,7 @@ func main() {
 	cfg.MappingUnit = *unit
 	cfg.Seed = *seed
 	cfg.LockDuringCheckpoint = *lock
+	cfg.Domains = *domains
 	cfg = profile.Apply(cfg)
 	if *dumpTrace {
 		cfg.TraceCapacity = 10_000

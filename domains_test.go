@@ -1,0 +1,199 @@
+package checkin_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// renderFullRun opens cfg, runs spec and dumps everything observable —
+// metrics summary, journal stats, lifetime/energy, a crash-recovery report,
+// a device SPOR report, device health and the sampled timeline — into one
+// string. Byte-equality of two dumps means the simulations were identical.
+func renderFullRun(t *testing.T, cfg checkin.Config, spec checkin.RunSpec) string {
+	t.Helper()
+	db, err := checkin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load()
+	return renderRunOn(t, db, spec)
+}
+
+func renderRunOn(t *testing.T, db *checkin.DB, spec checkin.RunSpec) string {
+	t.Helper()
+	m, err := db.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(m.Summary())
+	fmt.Fprintf(&sb, "journal=%+v\n", db.JournalStats())
+	fmt.Fprintf(&sb, "lifetime=%v energy=%v\n", db.Lifetime(), db.FlashEnergyMJ())
+	fmt.Fprintf(&sb, "recovery=%+v\n", *db.SimulateRecovery())
+	fmt.Fprintf(&sb, "spor=%+v\n", *db.SimulateSPOR())
+	fmt.Fprintf(&sb, "health=%+v\n", db.Health())
+	if m.Timeline != nil {
+		if err := m.Timeline.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+// TestDomainsByteIdentity compares full-stack runs with the parallel kernel
+// on and off, at GOMAXPROCS 1 and 4, across seeds — including timeline
+// sampling (which probes domain-owned backlog state mid-run), a crash
+// recovery, a device SPOR rebuild, and a heavy NAND error profile. Every
+// variant must produce byte-identical output.
+func TestDomainsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("domain identity matrix in -short mode")
+	}
+	scenarios := []struct {
+		name string
+		cfg  func() checkin.Config
+		spec checkin.RunSpec
+	}{
+		{
+			name: "checkin-wlA-sampled",
+			cfg: func() checkin.Config {
+				cfg := checkin.DefaultConfig()
+				cfg.Strategy = checkin.StrategyCheckIn
+				cfg.Keys = 5_000
+				cfg.CheckpointInterval = 100 * time.Millisecond
+				cfg.Seed = 1
+				return cfg
+			},
+			spec: checkin.RunSpec{Threads: 8, TotalQueries: 10_000, Mix: checkin.WorkloadA,
+				Zipfian: true, SampleInterval: 5 * sim.Millisecond},
+		},
+		{
+			name: "baseline-wlF-seed2",
+			cfg: func() checkin.Config {
+				cfg := checkin.DefaultConfig()
+				cfg.Strategy = checkin.StrategyBaseline
+				cfg.Keys = 5_000
+				cfg.CheckpointInterval = 100 * time.Millisecond
+				cfg.Seed = 2
+				return cfg
+			},
+			spec: checkin.RunSpec{Threads: 4, TotalQueries: 8_000, Mix: checkin.WorkloadF, Zipfian: true},
+		},
+		{
+			name: "errors-heavy-wo",
+			cfg: func() checkin.Config {
+				cfg := checkin.DefaultConfig()
+				cfg.Strategy = checkin.StrategyCheckIn
+				cfg.Keys = 5_000
+				cfg.CheckpointInterval = 100 * time.Millisecond
+				cfg.Seed = 1
+				p, err := checkin.ParseErrorProfile("heavy")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.Apply(cfg)
+			},
+			spec: checkin.RunSpec{Threads: 8, TotalQueries: 10_000, Mix: checkin.WorkloadWO, Zipfian: false},
+		},
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			off := sc.cfg()
+			off.Domains = "off"
+			want := renderFullRun(t, off, sc.spec)
+			for _, procs := range []int{1, 4} {
+				runtime.GOMAXPROCS(procs)
+				on := sc.cfg()
+				on.Domains = "on"
+				if got := renderFullRun(t, on, sc.spec); got != want {
+					t.Fatalf("domains on (GOMAXPROCS=%d) diverges from off:\n%s",
+						procs, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// TestDomainsForkedStateIdentity checks the snapshot/fork path: a template
+// captured with domains off must fork into byte-identical runs with domains
+// on (and vice versa) — the domain queues are not part of captured state.
+func TestDomainsForkedStateIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forked identity in -short mode")
+	}
+	base := checkin.DefaultConfig()
+	base.Strategy = checkin.StrategyCheckIn
+	base.Keys = 5_000
+	base.CheckpointInterval = 100 * time.Millisecond
+	base.Seed = 1
+	spec := checkin.RunSpec{Threads: 8, TotalQueries: 8_000, Mix: checkin.WorkloadA, Zipfian: true}
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	capture := func(domains string) *checkin.Snapshot {
+		cfg := base
+		cfg.Domains = domains
+		db, err := checkin.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Load()
+		snap, err := db.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	fork := func(snap *checkin.Snapshot, domains string) string {
+		cfg := base
+		cfg.Domains = domains
+		db, err := snap.Fork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderRunOn(t, db, spec)
+	}
+
+	offSnap, onSnap := capture("off"), capture("on")
+	want := fork(offSnap, "off")
+	for _, variant := range []struct {
+		snap    *checkin.Snapshot
+		domains string
+	}{
+		{offSnap, "on"}, {onSnap, "off"}, {onSnap, "on"},
+	} {
+		if got := fork(variant.snap, variant.domains); got != want {
+			t.Fatalf("fork(domains=%s) diverges from sequential fork:\n%s",
+				variant.domains, firstDiff(want, got))
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl, gl)
+		}
+	}
+	return "(no line diff — lengths differ)"
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/stats"
 	"github.com/checkin-kv/checkin/internal/workload"
 )
 
@@ -247,12 +248,7 @@ func TestLockDuringCheckpointStallsQueries(t *testing.T) {
 	}
 	// With admission locked, the max write latency must cover at least
 	// one checkpoint duration.
-	maxCkpt := sim.VTime(0)
-	for _, d := range m.CkptDurations {
-		if d > maxCkpt {
-			maxCkpt = d
-		}
-	}
+	maxCkpt := m.MaxCheckpointTime()
 	if sim.VTime(m.WriteLat.Max()) < maxCkpt/2 {
 		t.Errorf("max write latency %v does not reflect lock over checkpoint %v",
 			sim.VTime(m.WriteLat.Max()), maxCkpt)
@@ -376,6 +372,51 @@ func TestMeanHelpers(t *testing.T) {
 	if r := m.MeanLiveRatio(); r < 0.499 || r > 0.501 {
 		t.Errorf("MeanLiveRatio = %v", r)
 	}
+	if m.MaxCheckpointTime() != 30*sim.Millisecond {
+		t.Errorf("MaxCheckpointTime = %v", m.MaxCheckpointTime())
+	}
+}
+
+func TestMetricsStreamingNoAllocs(t *testing.T) {
+	// Checkpoint and live-ratio accounting is O(1): arbitrarily long runs
+	// must not grow the metrics. (These used to append to unbounded slices.)
+	m := newMetrics()
+	if a := testing.AllocsPerRun(200, func() {
+		m.noteCheckpoint(3 * sim.Millisecond)
+		m.noteLiveRatio(0.25)
+	}); a != 0 {
+		t.Errorf("noteCheckpoint/noteLiveRatio allocate %v per call, want 0", a)
+	}
+}
+
+func TestTimelineBoundedOnLongRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sampled run in -short mode")
+	}
+	// A sampling interval far below the run length overflows the timeline
+	// cap many times over; retained rows must stay bounded while still
+	// spanning the whole run.
+	_, en := newTestEngine(t, StrategyCheckIn, nil)
+	en.Load()
+	m, err := en.Run(RunSpec{
+		Threads: 4, TotalQueries: 10_000, Mix: workload.WorkloadA, Zipfian: true,
+		SampleInterval: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Timeline.Len()
+	if n > stats.DefaultTimelineCap {
+		t.Errorf("timeline rows = %d exceed cap %d", n, stats.DefaultTimelineCap)
+	}
+	if n < stats.DefaultTimelineCap/2 {
+		t.Errorf("timeline rows = %d, want saturation (>= %d) at this sampling rate",
+			n, stats.DefaultTimelineCap/2)
+	}
+	last, _ := m.Timeline.At(n - 1)
+	if sim.VTime(last) < m.Elapsed/2 {
+		t.Errorf("timeline ends at %v, run elapsed %v", sim.VTime(last), m.Elapsed)
+	}
 }
 
 func TestAdaptiveLiveBudgetBoundsCheckpointWork(t *testing.T) {
@@ -397,11 +438,9 @@ func TestAdaptiveLiveBudgetBoundsCheckpointWork(t *testing.T) {
 		t.Errorf("adaptive policy did not add checkpoints: %d vs %d",
 			adaptive.Checkpoints(), fixed.Checkpoints())
 	}
-	// Bounded work: every adaptive checkpoint stays small.
-	for _, d := range adaptive.CkptDurations {
-		if d > 100*sim.Millisecond {
-			t.Errorf("adaptive checkpoint took %v, budget not bounding work", d)
-		}
+	// Bounded work: even the longest adaptive checkpoint stays small.
+	if d := adaptive.MaxCheckpointTime(); d > 100*sim.Millisecond {
+		t.Errorf("adaptive checkpoint took %v, budget not bounding work", d)
 	}
 }
 

@@ -32,8 +32,18 @@ type Metrics struct {
 	WriteLatCkpt stats.Histogram
 	AllLat       stats.Histogram
 
-	CkptDurations []sim.VTime
-	LiveRatios    []float64
+	// CkptDur is a streaming histogram of checkpoint durations (ns). Its
+	// exact count/sum/max replace the unbounded per-checkpoint slice the
+	// metrics used to keep: a multi-hour trace with tight checkpoint
+	// intervals now costs O(1) memory. MeanCheckpointTime stays
+	// bit-identical — the same integer sum over the same count.
+	CkptDur stats.Histogram
+
+	// Live-ratio samples stream into an exact running sum/count (the mean
+	// folds additions in the same order the old slice-walk did, so the
+	// reported value is bit-identical).
+	LiveRatioSum   float64
+	LiveRatioCount uint64
 
 	// HostCacheHits counts reads served from the host block cache.
 	HostCacheHits uint64
@@ -99,38 +109,34 @@ func (m *Metrics) noteQuery(op workload.Op, lat sim.VTime, duringCkpt bool) {
 }
 
 func (m *Metrics) noteCheckpoint(d sim.VTime) {
-	m.CkptDurations = append(m.CkptDurations, d)
+	m.CkptDur.Record(uint64(d))
 }
 
 func (m *Metrics) noteLiveRatio(r float64) {
-	m.LiveRatios = append(m.LiveRatios, r)
+	m.LiveRatioSum += r
+	m.LiveRatioCount++
 }
 
 // Checkpoints returns the number of completed checkpoints.
-func (m *Metrics) Checkpoints() int { return len(m.CkptDurations) }
+func (m *Metrics) Checkpoints() int { return int(m.CkptDur.Count()) }
 
 // MeanCheckpointTime returns the average checkpoint duration.
 func (m *Metrics) MeanCheckpointTime() sim.VTime {
-	if len(m.CkptDurations) == 0 {
+	if m.CkptDur.Count() == 0 {
 		return 0
 	}
-	var sum sim.VTime
-	for _, d := range m.CkptDurations {
-		sum += d
-	}
-	return sum / sim.VTime(len(m.CkptDurations))
+	return sim.VTime(m.CkptDur.Sum() / m.CkptDur.Count())
 }
+
+// MaxCheckpointTime returns the longest checkpoint duration.
+func (m *Metrics) MaxCheckpointTime() sim.VTime { return sim.VTime(m.CkptDur.Max()) }
 
 // MeanLiveRatio returns the average latest/total JMT ratio at checkpoints.
 func (m *Metrics) MeanLiveRatio() float64 {
-	if len(m.LiveRatios) == 0 {
+	if m.LiveRatioCount == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, r := range m.LiveRatios {
-		sum += r
-	}
-	return sum / float64(len(m.LiveRatios))
+	return m.LiveRatioSum / float64(m.LiveRatioCount)
 }
 
 // ThroughputQPS returns queries per simulated second.

@@ -118,13 +118,34 @@ func (s *gcHeavyState) run(writes int) {
 // regime where the paper's GC results (fig8b, lifetime, fig9 tails) are
 // decided. One op = 100k unit writes plus the periodic background-GC
 // probe. The recorded before/after snapshot lives in BENCH_ftl.json.
+//
+// Every iteration forks from the same pristine preconditioned snapshot
+// (engine clock, NAND array, FTL, RNG): without the reset, iteration i+1
+// continued from iteration i's aged device and advanced RNG, so per-op cost
+// drifted with b.N and -count runs were not comparing the same work.
 func BenchmarkGCHeavyWriteOnly(b *testing.B) {
 	for _, pol := range []GCPolicy{GCGreedy, GCCostBenefit, GCFIFO} {
 		b.Run(pol.String(), func(b *testing.B) {
 			s := newGCHeavyState(b, pol)
+			engState := s.eng.State()
+			arrState := s.f.Array().Snapshot()
+			ftlState, err := s.f.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.eng.Restore(engState)
+				if err := s.f.Array().Restore(arrState); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.f.Restore(ftlState); err != nil {
+					b.Fatal(err)
+				}
+				s.rng = 0x9e3779b97f4a7c15
+				b.StartTimer()
 				s.run(100_000)
 			}
 		})

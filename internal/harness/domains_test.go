@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderSample renders the golden five-experiment sample (machine config,
+// amplification, redundant writes, record-size patterns, recovery/SPOR)
+// under o and returns the bytes checkin-bench would print.
+func renderSample(t *testing.T, o Opts) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, id := range goldenExperiments {
+		exp, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := exp.Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		tab.Render(&sb)
+	}
+	return sb.String()
+}
+
+// TestDomainsDeterminismMatrix is the kernel-parallelism safety net: the
+// rendered output of the five-experiment golden sample must be byte-equal
+// with the per-channel event domains on and off, across seeds and with the
+// NAND error model loaded. CI runs this test at -cpu 1,4 (GOMAXPROCS is the
+// axis the parallel kernel must be invariant to) and under -race.
+//
+// Snapshots are forced off: whole-run memoization keys on a fingerprint
+// that deliberately excludes Domains (the setting cannot change results),
+// so with the cache live the domains-on pass would just replay domains-off
+// results and the comparison would be vacuous.
+func TestDomainsDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism matrix in -short mode")
+	}
+	t.Logf("matrix at GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	for _, seed := range []int64{1, 2} {
+		base := Opts{Scale: 0.02, Threads: []int{4, 8}, Seed: seed, Snapshots: "off", Domains: "off"}
+		want := renderSample(t, base)
+		on := base
+		on.Domains = "on"
+		if got := renderSample(t, on); got != want {
+			t.Fatalf("seed %d: domains on diverges from off\n--- off ---\n%s--- on ---\n%s", seed, want, got)
+		}
+	}
+
+	heavy := Opts{Scale: 0.02, Threads: []int{4, 8}, Seed: 1, Snapshots: "off", Domains: "off", Errors: "heavy"}
+	want := renderSample(t, heavy)
+	heavyOn := heavy
+	heavyOn.Domains = "on"
+	if got := renderSample(t, heavyOn); got != want {
+		t.Fatalf("errors=heavy: domains on diverges from off\n--- off ---\n%s--- on ---\n%s", want, got)
+	}
+}

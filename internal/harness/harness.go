@@ -58,6 +58,11 @@ type Opts struct {
 	// latency, failed programs, retired blocks — and shift the reported
 	// numbers accordingly.
 	Errors string
+	// Domains controls the parallel DES kernel inside each run ("on",
+	// "off", or ""/"auto" = on when GOMAXPROCS > 1). Forwarded verbatim to
+	// checkin.Config.Domains; rendered tables are byte-identical at any
+	// setting — the domains change only wall-clock time.
+	Domains string
 }
 
 // snapshotsOn reports whether the template cache is enabled (the default).
@@ -221,6 +226,7 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	cfg.Seed = o.Seed
 	cfg.Keys = 50_000
 	cfg.CheckpointInterval = 300 * time.Millisecond
+	cfg.Domains = o.Domains
 	if o.Errors != "" && o.Errors != "off" {
 		p, err := checkin.ParseErrorProfile(o.Errors)
 		if err != nil {

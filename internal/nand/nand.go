@@ -170,6 +170,11 @@ type Array struct {
 	stats Stats
 	rel   *relModel // nil unless EnableReliability installed nonzero rates
 
+	// dom is the per-channel parallel timing path (see domain.go); nil runs
+	// every reservation inline on the main loop. Either way the observable
+	// simulation output is byte-identical.
+	dom *domainSet
+
 	// MaxPE is the endurance rating used by the lifetime equation; 0 means
 	// "unspecified" and lifetime reports are skipped.
 	MaxPE uint32
@@ -224,9 +229,11 @@ func (a *Array) MaxEraseCount() uint32 {
 	return max
 }
 
-// readPageReserve books the die and channel time of one page read and
-// returns when the data lands in the controller.
-func (a *Array) readPageReserve(block, page, nbytes int) sim.VTime {
+// readPageAccount runs the submission half of a page read — the address and
+// ordering checks and the operation counters the FTL observes synchronously
+// — and resolves the die, channel and clamped byte count. It is common to
+// the inline and domain paths, which keeps their observable state identical.
+func (a *Array) readPageAccount(block, page, nbytes int) (die, ch, nb int) {
 	a.checkAddr(block, page)
 	bs := &a.blocks[block]
 	if page >= bs.nextPage {
@@ -239,11 +246,17 @@ func (a *Array) readPageReserve(block, page, nbytes int) sim.VTime {
 	a.stats.Reads++
 	a.stats.BytesRead += uint64(nbytes)
 
-	die := a.geo.DieOfBlock(block)
-	ch := a.geo.ChannelOfDie(die)
+	die = a.geo.DieOfBlock(block)
+	return die, a.geo.ChannelOfDie(die), nbytes
+}
+
+// readPageReserve books the die and channel time of one page read inline and
+// returns when the data lands in the controller.
+func (a *Array) readPageReserve(block, page, nbytes int) sim.VTime {
+	die, ch, nb := a.readPageAccount(block, page, nbytes)
 	now := a.eng.Now()
 	_, dieDone := a.dies[die].Reserve(now, a.tim.CmdOverhead+a.tim.ReadPage)
-	_, xferDone := a.channels[ch].Reserve(dieDone, a.tim.TransferTime(nbytes))
+	_, xferDone := a.channels[ch].Reserve(dieDone, a.tim.TransferTime(nb))
 	return xferDone
 }
 
@@ -251,6 +264,11 @@ func (a *Array) readPageReserve(block, page, nbytes int) sim.VTime {
 // carries the data to the controller. The returned future completes when the
 // data is in the controller.
 func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
+	if a.dom != nil {
+		die, ch, nb := a.readPageAccount(block, page, nbytes)
+		return a.dom.submit(ch, domCmd{kind: domRead, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.ReadPage, xfer: a.tim.TransferTime(nb)}, true)
+	}
 	xferDone := a.readPageReserve(block, page, nbytes)
 	f := sim.NewFuture(a.eng)
 	a.eng.AtComplete(xferDone, f)
@@ -264,6 +282,12 @@ func (a *Array) ReadPage(block, page, nbytes int) *sim.Future {
 // event has no observable effect (nothing waits, and the clock it would
 // advance is per-event), so dropping it changes nothing but dispatch cost.
 func (a *Array) ReadPageNoWait(block, page, nbytes int) {
+	if a.dom != nil {
+		die, ch, nb := a.readPageAccount(block, page, nbytes)
+		a.dom.submit(ch, domCmd{kind: domRead, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.ReadPage, xfer: a.tim.TransferTime(nb)}, false)
+		return
+	}
 	a.readPageReserve(block, page, nbytes)
 }
 
@@ -272,15 +296,22 @@ func (a *Array) ReadPageNoWait(block, page, nbytes int) {
 // when the program finishes. Programming a full block panics — the FTL must
 // rotate to a fresh block.
 func (a *Array) ProgramPage(block, nbytes int) (page int, f *sim.Future) {
+	if a.dom != nil {
+		page, die, ch, nb := a.programPageAccount(block, nbytes)
+		return page, a.dom.submit(ch, domCmd{kind: domProgram, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.ProgramPage, xfer: a.tim.TransferTime(nb)}, true)
+	}
 	page, progDone := a.programPageReserve(block, nbytes)
 	f = sim.NewFuture(a.eng)
 	a.eng.AtComplete(progDone, f)
 	return page, f
 }
 
-// programPageReserve advances the block's program frontier and books the
-// channel and die time; it returns the programmed page and the finish time.
-func (a *Array) programPageReserve(block, nbytes int) (page int, progDone sim.VTime) {
+// programPageAccount runs the submission half of a page program: it advances
+// the block's program frontier — the FTL reads the returned page index
+// synchronously, which is why frontier movement can never defer to a domain
+// — and bumps the counters.
+func (a *Array) programPageAccount(block, nbytes int) (page, die, ch, nb int) {
 	a.checkAddr(block, 0)
 	bs := &a.blocks[block]
 	if bs.nextPage >= a.geo.PagesPerBlock {
@@ -295,12 +326,19 @@ func (a *Array) programPageReserve(block, nbytes int) (page int, progDone sim.VT
 	a.stats.Programs++
 	a.stats.BytesProgrammed += uint64(nbytes)
 
-	die := a.geo.DieOfBlock(block)
-	ch := a.geo.ChannelOfDie(die)
+	die = a.geo.DieOfBlock(block)
+	return page, die, a.geo.ChannelOfDie(die), nbytes
+}
+
+// programPageReserve advances the block's program frontier and books the
+// channel and die time inline; it returns the programmed page and the
+// finish time.
+func (a *Array) programPageReserve(block, nbytes int) (page int, progDone sim.VTime) {
+	page, die, ch, nb := a.programPageAccount(block, nbytes)
 	now := a.eng.Now()
 	// Data moves over the channel into the die's page register, then the
 	// die programs the cell array.
-	_, xferDone := a.channels[ch].Reserve(now, a.tim.TransferTime(nbytes))
+	_, xferDone := a.channels[ch].Reserve(now, a.tim.TransferTime(nb))
 	_, progDone = a.dies[die].Reserve(xferDone, a.tim.CmdOverhead+a.tim.ProgramPage)
 	return page, progDone
 }
@@ -309,6 +347,12 @@ func (a *Array) programPageReserve(block, nbytes int) (page int, progDone sim.VT
 // page programs, whose durability the in-DRAM table makes moot): identical
 // reservations and counters, no future, no kernel event.
 func (a *Array) ProgramPageNoWait(block, nbytes int) (page int) {
+	if a.dom != nil {
+		page, die, ch, nb := a.programPageAccount(block, nbytes)
+		a.dom.submit(ch, domCmd{kind: domProgram, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.ProgramPage, xfer: a.tim.TransferTime(nb)}, false)
+		return page
+	}
 	page, _ = a.programPageReserve(block, nbytes)
 	return page
 }
@@ -316,13 +360,21 @@ func (a *Array) ProgramPageNoWait(block, nbytes int) (page int) {
 // EraseBlock erases a block, incrementing its P/E count. The future
 // completes when the erase finishes.
 func (a *Array) EraseBlock(block int) *sim.Future {
+	if a.dom != nil {
+		die, ch := a.eraseBlockAccount(block)
+		return a.dom.submit(ch, domCmd{kind: domErase, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.EraseBlock}, true)
+	}
 	done := a.eraseBlockReserve(block)
 	f := sim.NewFuture(a.eng)
 	a.eng.AtComplete(done, f)
 	return f
 }
 
-func (a *Array) eraseBlockReserve(block int) sim.VTime {
+// eraseBlockAccount runs the submission half of a block erase: lifecycle
+// flip (the FTL re-reads IsErased and the frontier synchronously) and
+// counters.
+func (a *Array) eraseBlockAccount(block int) (die, ch int) {
 	a.checkAddr(block, 0)
 	bs := &a.blocks[block]
 	bs.eraseCount++
@@ -331,7 +383,12 @@ func (a *Array) eraseBlockReserve(block int) sim.VTime {
 	bs.nextPage = 0
 	a.stats.Erases++
 
-	die := a.geo.DieOfBlock(block)
+	die = a.geo.DieOfBlock(block)
+	return die, a.geo.ChannelOfDie(die)
+}
+
+func (a *Array) eraseBlockReserve(block int) sim.VTime {
+	die, _ := a.eraseBlockAccount(block)
 	now := a.eng.Now()
 	_, done := a.dies[die].Reserve(now, a.tim.CmdOverhead+a.tim.EraseBlock)
 	return done
@@ -340,6 +397,12 @@ func (a *Array) eraseBlockReserve(block int) sim.VTime {
 // EraseBlockNoWait is EraseBlock for fire-and-forget callers (GC erases):
 // identical reservations and counters, no future, no kernel event.
 func (a *Array) EraseBlockNoWait(block int) {
+	if a.dom != nil {
+		die, ch := a.eraseBlockAccount(block)
+		a.dom.submit(ch, domCmd{kind: domErase, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.EraseBlock}, false)
+		return
+	}
 	a.eraseBlockReserve(block)
 }
 
@@ -354,11 +417,13 @@ func (a *Array) IsErased(block int) bool {
 // DieIdleAt reports whether the die holding block is idle at time t — the
 // deallocator uses this to schedule background GC in idle windows.
 func (a *Array) DieIdleAt(block int, t sim.VTime) bool {
+	a.syncDomains()
 	return a.dies[a.geo.DieOfBlock(block)].IdleAt(t)
 }
 
 // AllDiesIdleAt reports whether the whole array is idle at time t.
 func (a *Array) AllDiesIdleAt(t sim.VTime) bool {
+	a.syncDomains()
 	for i := range a.dies {
 		if !a.dies[i].IdleAt(t) {
 			return false
@@ -368,13 +433,19 @@ func (a *Array) AllDiesIdleAt(t sim.VTime) bool {
 }
 
 // DieBusyTotal returns the cumulative busy time of die d (utilization).
-func (a *Array) DieBusyTotal(d int) sim.VTime { return a.dies[d].BusyTotal() }
+func (a *Array) DieBusyTotal(d int) sim.VTime {
+	a.syncDomains()
+	return a.dies[d].BusyTotal()
+}
 
 // ReserveDie books dur of busy time on the die holding block — used by
 // recovery scans that sweep OOB areas without going through the normal
-// page-read path. It returns the reservation's end time.
+// page-read path. It returns the reservation's end time, which is why it
+// must sync the domains first: the end is observed synchronously, so the
+// die's horizon has to reflect every command submitted before this one.
 func (a *Array) ReserveDie(block int, dur sim.VTime) sim.VTime {
 	a.checkAddr(block, 0)
+	a.syncDomains()
 	_, end := a.dies[a.geo.DieOfBlock(block)].Reserve(a.eng.Now(), dur)
 	return end
 }
@@ -382,6 +453,7 @@ func (a *Array) ReserveDie(block int, dur sim.VTime) sim.VTime {
 // MaxBacklog returns the largest per-die backlog (busy-until minus now) at
 // time t — a probe for burstiness diagnostics.
 func (a *Array) MaxBacklog(t sim.VTime) sim.VTime {
+	a.syncDomains()
 	var max sim.VTime
 	for i := range a.dies {
 		if bu := a.dies[i].BusyUntil(); bu > t && bu-t > max {
@@ -392,7 +464,10 @@ func (a *Array) MaxBacklog(t sim.VTime) sim.VTime {
 }
 
 // ChannelBusyTotal returns the cumulative busy time of channel c.
-func (a *Array) ChannelBusyTotal(c int) sim.VTime { return a.channels[c].BusyTotal() }
+func (a *Array) ChannelBusyTotal(c int) sim.VTime {
+	a.syncDomains()
+	return a.channels[c].BusyTotal()
+}
 
 func (a *Array) checkAddr(block, page int) {
 	if block < 0 || block >= len(a.blocks) {

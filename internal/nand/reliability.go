@@ -180,6 +180,11 @@ func (a *Array) ProgramFailedAttempt(block, nbytes int) {
 
 	die := a.geo.DieOfBlock(block)
 	ch := a.geo.ChannelOfDie(die)
+	if a.dom != nil {
+		a.dom.submit(ch, domCmd{kind: domProgram, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.ProgramPage, xfer: a.tim.TransferTime(nbytes)}, false)
+		return
+	}
 	now := a.eng.Now()
 	_, xferDone := a.channels[ch].Reserve(now, a.tim.TransferTime(nbytes))
 	a.dies[die].Reserve(xferDone, a.tim.CmdOverhead+a.tim.ProgramPage)
@@ -196,5 +201,10 @@ func (a *Array) EraseFailedAttempt(block int) {
 	a.stats.EraseFails++
 
 	die := a.geo.DieOfBlock(block)
+	if a.dom != nil {
+		a.dom.submit(a.geo.ChannelOfDie(die), domCmd{kind: domErase, die: int32(die),
+			op: a.tim.CmdOverhead + a.tim.EraseBlock}, false)
+		return
+	}
 	a.dies[die].Reserve(a.eng.Now(), a.tim.CmdOverhead+a.tim.EraseBlock)
 }

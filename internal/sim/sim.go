@@ -160,6 +160,18 @@ type Engine struct {
 	liveProcs int
 	executed  uint64
 
+	// extSync, when non-nil, is the registered external completion source: a
+	// set of event domains (per-channel NAND timing queues) that compute
+	// completion times outside the main loop and merge them back via
+	// InjectCompletion. extHorizon is the conservative safe horizon — a lower
+	// bound on the earliest instant any un-merged external completion can
+	// land. The dispatcher never advances the clock to or past the horizon
+	// without first syncing, so injected events are never in the past and the
+	// dispatch order stays exactly the (at, seq) total order the sequential
+	// kernel produces. ^VTime(0) means "nothing pending".
+	extSync    func()
+	extHorizon VTime
+
 	// completed is the engine's shared already-done future. A completed
 	// future is immutable (OnComplete on a done future only schedules, and
 	// Complete on one always panics), so every fast path that finishes
@@ -167,9 +179,13 @@ type Engine struct {
 	completed *Future
 }
 
+// maxVTime is the end of virtual time, used as the "no deadline" sentinel
+// and as the idle external-sync horizon.
+const maxVTime = ^VTime(0)
+
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{extHorizon: maxVTime}
 }
 
 // Now returns the current virtual time.
@@ -228,6 +244,65 @@ func (e *Engine) AtComplete(t VTime, f *Future) {
 	e.events.push(event{at: t, seq: e.seq, fut: f})
 }
 
+// ReserveSeq draws the next event sequence number without scheduling
+// anything. An external event domain calls it at command submission so that
+// the completion it later injects carries exactly the tie-break number the
+// sequential kernel's AtComplete would have drawn at the same point in the
+// submission order — the linchpin of byte-identical parallel output.
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// InjectCompletion merges an externally computed completion into the event
+// queue under a sequence number previously reserved with ReserveSeq. The
+// event always goes through the heap, never the now-queue: its seq predates
+// anything queued at the current instant, and the dispatcher's (at, seq)
+// merge of heap head versus now-queue head already orders it correctly.
+// Injecting into the past panics — it means the external source violated
+// the safe-horizon contract (see LowerHorizon).
+func (e *Engine) InjectCompletion(at VTime, seq uint64, f *Future) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: injecting completion at %v, before now %v", at, e.now))
+	}
+	e.events.push(event{at: at, seq: seq, fut: f})
+}
+
+// SetExternalSync registers fn as the external completion source's merge
+// callback. When the dispatcher is about to advance the clock to or past the
+// current safe horizon it invokes fn, which must compute and inject
+// (InjectCompletion) every completion for commands submitted so far. Passing
+// nil unregisters the source.
+func (e *Engine) SetExternalSync(fn func()) {
+	e.extSync = fn
+	e.extHorizon = maxVTime
+}
+
+// LowerHorizon records that the external source may later inject a
+// completion at time t or later. The source must call it at every command
+// submission with a sound lower bound on that command's completion time
+// (submission time plus the minimum service latency); the kernel guarantees
+// the clock never reaches t before the source has been synced.
+func (e *Engine) LowerHorizon(t VTime) {
+	if t < e.extHorizon {
+		e.extHorizon = t
+	}
+}
+
+// SyncExternal forces the external source to merge every pending completion
+// immediately and resets the safe horizon. Callers that read state the
+// external source owns (busy horizons, backlog depths) must sync first; it
+// is cheap when nothing is pending.
+func (e *Engine) SyncExternal() {
+	if e.extSync == nil {
+		return
+	}
+	// Reset before the callback: injected completions need no new horizon
+	// (they are real events now), and submissions cannot happen during sync.
+	e.extHorizon = maxVTime
+	e.extSync()
+}
+
 // Stop makes Run return after the currently executing event.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -242,6 +317,28 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline VTime) {
 	e.stopped = false
 	for !e.stopped {
+		// Conservative sync: before advancing to (or past) the external
+		// safe horizon, merge the external domains' completions into the
+		// queue. The horizon is a lower bound on every un-merged
+		// completion's timestamp, so any candidate event at or beyond it —
+		// or an empty queue — might be preceded (or tied-and-preceded by
+		// seq) by an external completion. extHorizon is ^VTime(0) when
+		// nothing external is pending, which skips all of this.
+		if e.extHorizon != maxVTime && e.extHorizon <= deadline {
+			at := maxVTime
+			if e.nowqHead < len(e.nowq) {
+				// A pending now-event sits at the clock, which never
+				// passes the horizon un-synced, so this candidate always
+				// precedes the heap head's time.
+				at = e.nowq[e.nowqHead].at
+			} else if hat, ok := e.events.nextAt(); ok {
+				at = hat
+			}
+			if at >= e.extHorizon {
+				e.SyncExternal()
+				continue
+			}
+		}
 		// Select the (at, seq)-least pending event across the now-queue
 		// and the heap — exactly the order a single heap would dispatch.
 		// A pending now-event sits at the current clock, so a heap event
@@ -278,8 +375,17 @@ func (e *Engine) RunUntil(deadline VTime) {
 			ev.fn()
 		}
 	}
-	if deadline != ^VTime(0) && e.now < deadline {
-		e.now = deadline
+	if deadline != maxVTime && e.now < deadline {
+		// Never advance past the external safe horizon: a completion could
+		// land exactly on it. Normal exits guarantee extHorizon > deadline
+		// (the loop syncs first); this clamp only matters after Stop.
+		adv := deadline
+		if e.extHorizon < adv {
+			adv = e.extHorizon
+		}
+		if e.now < adv {
+			e.now = adv
+		}
 	}
 }
 
@@ -327,6 +433,9 @@ func (e *Engine) Restore(s EngineState) {
 	e.seq = s.Seq
 	e.executed = s.Executed
 	e.stopped = false
+	// The external source discards its own un-merged commands on restore
+	// (they belong to the abandoned timeline), so the horizon resets to idle.
+	e.extHorizon = maxVTime
 }
 
 // A Proc is a cooperative simulated process. All its methods must be called

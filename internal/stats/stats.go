@@ -18,10 +18,14 @@ import (
 // reports. The zero value is ready to use.
 type Histogram struct {
 	counts [64][subBuckets]uint64
-	total  uint64
-	sum    uint64
-	min    uint64
-	max    uint64
+	// rowTotal[major] is the sample count of the whole major row — an
+	// occupancy index letting percentile scans skip empty rows (and rows
+	// entirely below the target rank) without touching their 64 buckets.
+	rowTotal [64]uint64
+	total    uint64
+	sum      uint64
+	min      uint64
+	max      uint64
 }
 
 const subBuckets = 64
@@ -36,6 +40,7 @@ func (h *Histogram) RecordN(v uint64, n uint64) {
 	}
 	major, minor := bucketOf(v)
 	h.counts[major][minor] += n
+	h.rowTotal[major] += n
 	if h.total == 0 || v < h.min {
 		h.min = v
 	}
@@ -110,6 +115,11 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	}
 	var seen uint64
 	for major := 0; major < 64; major++ {
+		rt := h.rowTotal[major]
+		if rt == 0 || seen+rt < rank {
+			seen += rt // whole row empty or below the rank: skip its buckets
+			continue
+		}
 		for minor := 0; minor < subBuckets; minor++ {
 			c := h.counts[major][minor]
 			if c == 0 {
@@ -128,6 +138,66 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Percentiles returns Percentile(p) for every p in ps in a single pass over
+// the buckets; ps must be non-decreasing. Each element is exactly what the
+// corresponding individual Percentile call would return — Summarize uses
+// this to extract its five tail points with one scan instead of five.
+func (h *Histogram) Percentiles(ps ...float64) []uint64 {
+	out := make([]uint64, len(ps))
+	if h.total == 0 {
+		return out
+	}
+	ranks := make([]uint64, len(ps))
+	for i, p := range ps {
+		if i > 0 && p < ps[i-1] {
+			panic("stats: Percentiles arguments must be non-decreasing")
+		}
+		if p <= 0 {
+			out[i] = h.Min() // rank 0 marks an already-answered slot
+			continue
+		}
+		if p > 100 {
+			p = 100
+		}
+		r := uint64(math.Ceil(p / 100 * float64(h.total)))
+		if r == 0 {
+			r = 1
+		}
+		ranks[i] = r
+	}
+	i := 0
+	for i < len(ps) && ranks[i] == 0 {
+		i++
+	}
+	var seen uint64
+	for major := 0; major < 64 && i < len(ps); major++ {
+		rt := h.rowTotal[major]
+		if rt == 0 || seen+rt < ranks[i] {
+			seen += rt
+			continue
+		}
+		for minor := 0; minor < subBuckets && i < len(ps); minor++ {
+			c := h.counts[major][minor]
+			if c == 0 {
+				continue
+			}
+			seen += c
+			for i < len(ps) && seen >= ranks[i] {
+				hi := bucketHigh(major, minor)
+				if hi > h.max {
+					hi = h.max
+				}
+				out[i] = hi
+				i++
+			}
+		}
+	}
+	for ; i < len(ps); i++ {
+		out[i] = h.max
+	}
+	return out
+}
+
 // bucketHigh returns the highest value that maps into bucket (major, minor).
 func bucketHigh(major, minor int) uint64 {
 	if major == 0 {
@@ -142,9 +212,13 @@ func (h *Histogram) Merge(o *Histogram) {
 		return
 	}
 	for major := range o.counts {
+		if o.rowTotal[major] == 0 {
+			continue
+		}
 		for minor, c := range o.counts[major] {
 			h.counts[major][minor] += c
 		}
+		h.rowTotal[major] += o.rowTotal[major]
 	}
 	if h.total == 0 || o.min < h.min {
 		h.min = o.min
@@ -172,17 +246,18 @@ type Summary struct {
 	Max   uint64
 }
 
-// Summarize extracts a Summary.
+// Summarize extracts a Summary with one bucket scan.
 func (h *Histogram) Summarize() Summary {
+	pct := h.Percentiles(50, 90, 99, 99.9, 99.99)
 	return Summary{
 		Count: h.Count(),
 		Mean:  h.Mean(),
 		Min:   h.Min(),
-		P50:   h.Percentile(50),
-		P90:   h.Percentile(90),
-		P99:   h.Percentile(99),
-		P999:  h.Percentile(99.9),
-		P9999: h.Percentile(99.99),
+		P50:   pct[0],
+		P90:   pct[1],
+		P99:   pct[2],
+		P999:  pct[3],
+		P9999: pct[4],
 		Max:   h.Max(),
 	}
 }
