@@ -148,6 +148,20 @@ type Config struct {
 	// GCPolicy selects the garbage-collection victim policy:
 	// "greedy" (default), "cost-benefit", or "fifo".
 	GCPolicy string
+	// FTLMap selects the mapping-table model: "dram" (default — full table
+	// in controller DRAM with the probabilistic map-cache cost model) or
+	// "dftl" (DFTL-style flash-resident table: a bounded cached mapping
+	// table backed by translation pages on flash, with mapping misses and
+	// writebacks charged through the real NAND timing path; see
+	// internal/ftl/dftl.go).
+	FTLMap string
+	// CMTEntries bounds the dftl cached mapping table (entries). 0 derives
+	// the bound from MapCacheMB (8 bytes per entry).
+	CMTEntries int
+	// MetaFlushEntries overrides the dirty-mapping-entry count that triggers
+	// a metadata (dram mode) or translation-page (dftl mode) writeback.
+	// 0 keeps the FTL default of one translation page's worth of entries.
+	MetaFlushEntries int
 
 	// Controller.
 	QueueDepth  int
@@ -354,6 +368,9 @@ func withDefaults(cfg Config) Config {
 	if cfg.CommandTimeout > 0 && cfg.TimeoutBackoff == 0 {
 		cfg.TimeoutBackoff = time.Millisecond
 	}
+	if cfg.FTLMap == "" {
+		cfg.FTLMap = "dram"
+	}
 	return cfg
 }
 
@@ -438,6 +455,15 @@ func Open(cfg Config) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("checkin: unknown GCPolicy %q (want greedy, cost-benefit or fifo)", cfg.GCPolicy)
 	}
+	switch cfg.FTLMap {
+	case "dram":
+	case "dftl":
+		fcfg.FlashMap = true
+		fcfg.CMTEntries = cfg.CMTEntries
+	default:
+		return nil, fmt.Errorf("checkin: unknown FTLMap %q (want dram or dftl)", cfg.FTLMap)
+	}
+	fcfg.MetaFlushEntries = cfg.MetaFlushEntries
 	var tracer *trace.Tracer
 	if cfg.TraceCapacity > 0 {
 		tracer = trace.New(cfg.TraceCapacity)

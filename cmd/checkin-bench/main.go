@@ -39,6 +39,7 @@ func main() {
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
 		errProfile = flag.String("errors", "off", "NAND error profile applied to every run: off | light | heavy")
 		domains    = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
+		ftlmap     = flag.String("ftlmap", "dram", "FTL mapping-table model: dram (full table in controller DRAM) | dftl (flash-resident translation pages; charges mapping misses and writebacks through NAND timing)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -96,6 +97,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "checkin-bench:", err)
 		os.Exit(2)
 	}
+	if *ftlmap != "dram" && *ftlmap != "dftl" {
+		fmt.Fprintf(os.Stderr, "checkin-bench: bad -ftlmap %q (want dram or dftl)\n", *ftlmap)
+		os.Exit(2)
+	}
 	seedList := []int64{*seed}
 	if *seeds != "" {
 		seedList = seedList[:0]
@@ -125,7 +130,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing, Errors: profile.Name, Domains: *domains}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing, Errors: profile.Name, Domains: *domains, FTLMap: *ftlmap}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {

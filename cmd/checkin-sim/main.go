@@ -50,6 +50,7 @@ func main() {
 		hit         = flag.Int("hit", 0, "crashpoints: 1-based hit index of -site to crash at")
 		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
 		domains     = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
+		ftlmap      = flag.String("ftlmap", "dram", "FTL mapping-table model: dram | dftl (flash-resident translation pages)")
 	)
 	flag.Parse()
 
@@ -87,8 +88,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *ftlmap != "dram" && *ftlmap != "dftl" {
+		fatal(fmt.Errorf("bad -ftlmap %q (want dram or dftl)", *ftlmap))
+	}
 	if *crashpoints {
-		runCrashpoints(s, *seed, *site, *hit, profile.Name)
+		runCrashpoints(s, *seed, *site, *hit, profile.Name, *ftlmap)
 		return
 	}
 	var mix checkin.Mix
@@ -115,6 +119,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.LockDuringCheckpoint = *lock
 	cfg.Domains = *domains
+	cfg.FTLMap = *ftlmap
 	cfg = profile.Apply(cfg)
 	if *dumpTrace {
 		cfg.TraceCapacity = 10_000
@@ -222,8 +227,11 @@ func main() {
 // for the strategy and seed: a census of every injection site the workload
 // reaches, then sampled armed crashes at each, validating host recovery,
 // device SPOR, and FTL invariants at every crash instant.
-func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, errProfile string) {
+func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, errProfile, ftlmap string) {
 	opts := check.DefaultOptions()
+	if ftlmap != "dram" {
+		opts = check.DFTLOptions()
+	}
 	if errProfile != "off" {
 		opts.Errors = errProfile
 	}

@@ -89,6 +89,15 @@ type Options struct {
 	// run, so crash points and flash faults compose: a crash can land in
 	// the middle of a read-retry ladder or a bad-block migration.
 	Errors string
+	// FTLMap selects the mapping-table model for every build ("" = dram).
+	// Under "dftl" the translation-page sites fire and the differential
+	// mapping oracle arms, so a crash can land mid-writeback or mid-
+	// translation-GC with the CMT coherence sweep validating the instant.
+	FTLMap string
+	// CMTEntries bounds the dftl CMT (0 = derive from MapCacheMB). The
+	// matrix pins it small so capacity evictions actually happen at
+	// verification scale.
+	CMTEntries int
 }
 
 // DefaultOptions is sized so one (strategy, seed) matrix — census plus all
@@ -98,6 +107,27 @@ type Options struct {
 // flushes and wear leveling.
 func DefaultOptions() Options {
 	return Options{Keys: 1500, Ops: 3000, Threads: 4, CrashesPerSite: 2}
+}
+
+// DFTLCMTEntries pins the dftl verification builds' CMT bound at two
+// translation pages' worth of entries (the minimum at the 4 KB page size):
+// small enough that the workload forces capacity evictions — including
+// dirty-tail evictions that write the victim's translation page back — so
+// the trans-evict site fires. The checkin-sim -crashpoints CLI uses the
+// same value, keeping repro lines faithful.
+const DFTLCMTEntries = 1024
+
+// DFTLOptions is the dftl crash-matrix schedule: DefaultOptions with the
+// flash-resident mapping table on, the CMT/writeback knobs pinned, and a
+// longer trace so translation-block churn builds enough GC pressure that
+// the trans-gc site fires. Tests and the checkin-sim -crashpoints CLI must
+// both use it so (seed, site, hit) repro lines replay identically.
+func DFTLOptions() Options {
+	o := DefaultOptions()
+	o.Ops = 9000
+	o.FTLMap = "dftl"
+	o.CMTEntries = DFTLCMTEntries
+	return o
 }
 
 // Mix is the verification workload: write-heavy so the journal and
@@ -140,6 +170,22 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 	cfg.DataCacheMB = 1
 	cfg.WearDeltaThreshold = 3
 	cfg.Injector = inj
+	cfg.FTLMap = opts.FTLMap
+	cfg.CMTEntries = opts.CMTEntries
+	if opts.FTLMap == "dftl" {
+		// Tighter free-space margin so GC pressure stays high with the
+		// translation stream competing for blocks.
+		cfg.BlocksPerPlane = 24
+		// Conventional 4KB-unit strategies touch only a few hundred
+		// distinct luns at verification scale — less than one default
+		// writeback batch — so scale the dirty-entry threshold to the
+		// mapping footprint. Sub-page strategies keep the default: their
+		// working set is large enough to exercise both the threshold
+		// flush and the LRU dirty-tail eviction.
+		if strategy.DefaultMappingUnit() == cfg.PageSizeBytes {
+			cfg.MetaFlushEntries = 64
+		}
+	}
 	if opts.Errors != "" {
 		profile, err := checkin.ParseErrorProfile(opts.Errors)
 		if err != nil {
@@ -150,6 +196,12 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 	db, err := checkin.Open(cfg)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opts.FTLMap == "dftl" {
+		// Every verification build runs with the differential mapping
+		// oracle armed: a coherence divergence panics at the faulting
+		// access instead of surfacing as a downstream validation diff.
+		db.Engine().Device().FTL().EnableMapOracle()
 	}
 	model := NewModel(opts.Keys)
 	db.Engine().SetCommitHook(model.Commit)
@@ -232,6 +284,7 @@ type CrashResult struct {
 	Site     inject.Site
 	Hit      int    // 1-based hit index within the measured run
 	Errors   string // error profile the run was built with ("" = off)
+	FTLMap   string // mapping-table model the run was built with ("" = dram)
 	Fired    bool
 	Err      error
 }
@@ -242,6 +295,9 @@ func (r CrashResult) Repro() string {
 		r.Strategy, r.Seed, r.Site, r.Hit)
 	if r.Errors != "" {
 		line += fmt.Sprintf(" -errors=%s", r.Errors)
+	}
+	if r.FTLMap != "" && r.FTLMap != "dram" {
+		line += fmt.Sprintf(" -ftlmap=%s", r.FTLMap)
 	}
 	return line
 }
@@ -262,7 +318,7 @@ func (r CrashResult) String() string {
 // validation runs; the simulation then continues to completion so the
 // armed run's hit counting stays comparable to the census.
 func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, tr *checkin.Trace, opts Options) CrashResult {
-	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit, Errors: opts.Errors}
+	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit, Errors: opts.Errors, FTLMap: opts.FTLMap}
 	inj := inject.New()
 	db, model, err := Build(strategy, seed, opts, inj)
 	if err != nil {

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	checkin "github.com/checkin-kv/checkin"
+	"github.com/checkin-kv/checkin/internal/inject"
+)
+
+// dftlMatrixSites are the crash points the dftl matrix arms: the three
+// translation-page sites themselves (a crash after a threshold writeback, a
+// dirty-tail eviction writeback, a translation-page GC migration) plus
+// three core sites proving the ordinary crash points still hold with the
+// flash-resident mapping table underneath. The remaining sites are covered
+// by the dram-mode TestCrashMatrix.
+var dftlMatrixSites = []inject.Site{
+	inject.SiteTransFlush,
+	inject.SiteTransEvict,
+	inject.SiteTransGC,
+	inject.SiteJournalCommit,
+	inject.SiteCheckpointApply,
+	inject.SiteGCMigrate,
+}
+
+// TestDFTLCrashMatrix is the dftl analogue of TestCrashMatrix: every
+// strategy × seed replays its trace with the flash-resident mapping table on
+// (CMT pinned small, differential mapping oracle armed) and crashes at
+// sampled hits of every dftl-matrix site that fired. Each crash instant
+// validates host recovery, the device SPOR rebuild — which now includes the
+// global translation directory — and the FTL invariants, whose dftl section
+// sweeps the CMT, LRU, directory and flash-resident entry coherence.
+// Failures print a (seed, site, hit, -ftlmap=dftl) line that reproduces in
+// one command.
+func TestDFTLCrashMatrix(t *testing.T) {
+	opts := DFTLOptions()
+	agg := make(map[checkin.Strategy]*Census)
+	for _, seed := range matrixSeeds {
+		tr, err := NewTrace(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range checkin.Strategies {
+			s, seed, tr := s, seed, tr
+			if agg[s] == nil {
+				agg[s] = &Census{}
+			}
+			t.Run(fmt.Sprintf("%s/seed%d", s, seed), func(t *testing.T) {
+				results, census, err := CrashMatrixSites(s, seed, tr, opts, dftlMatrixSites)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(results) == 0 {
+					t.Fatal("dftl matrix produced no crash runs")
+				}
+				for site, n := range census.RunHits {
+					agg[s].RunHits[site] += n
+				}
+				for _, r := range results {
+					if !r.Fired {
+						t.Errorf("%s — armed crash never fired (census drifted?)", r)
+					}
+					if r.Err != nil {
+						t.Errorf("%s\n  reproduce: %s", r, r.Repro())
+					}
+				}
+			})
+		}
+	}
+	// Coverage: threshold writebacks must fire for every strategy; the
+	// rarer dirty-tail eviction writeback is asserted globally. The
+	// trans-gc migration needs GC to dig into a block still holding live
+	// translation pages — the full-stack workload reclaims fully-dead
+	// translation blocks first, so that site is covered at the FTL layer
+	// (TestTransGCCrashConsistency in internal/ftl), mirroring how the
+	// wear-level site is handled.
+	evicts := 0
+	for _, s := range checkin.Strategies {
+		c := agg[s]
+		t.Logf("%s: trans-flush=%d trans-evict=%d trans-gc=%d", s,
+			c.RunHits[inject.SiteTransFlush], c.RunHits[inject.SiteTransEvict], c.RunHits[inject.SiteTransGC])
+		if c.RunHits[inject.SiteTransFlush] == 0 {
+			t.Errorf("strategy %s never hit %s across %v — dftl coverage lost", s, inject.SiteTransFlush, matrixSeeds)
+		}
+		evicts += c.RunHits[inject.SiteTransEvict]
+	}
+	if evicts == 0 {
+		t.Errorf("no strategy hit %s across %v — dftl coverage lost", inject.SiteTransEvict, matrixSeeds)
+	}
+}
+
+// TestDFTLStrategyEquivalence replays one byte-identical trace on all five
+// strategies under dftl and asserts they converge to the identical final
+// key/value state: the flash-resident mapping table changes costs, never
+// outcomes.
+func TestDFTLStrategyEquivalence(t *testing.T) {
+	opts := DFTLOptions()
+	tr, err := NewTrace(opts, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []int64
+	var refStrategy checkin.Strategy
+	for _, s := range checkin.Strategies {
+		got, err := FinalVersions(s, 11, tr, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if ref == nil {
+			ref, refStrategy = got, s
+			continue
+		}
+		for k := range ref {
+			if ref[k] != got[k] {
+				t.Fatalf("%s diverges from %s at key %d: v%d vs v%d", s, refStrategy, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestDFTLReproLine pins the -ftlmap flag onto dftl repro lines (and keeps
+// it off dram ones).
+func TestDFTLReproLine(t *testing.T) {
+	r := CrashResult{Strategy: checkin.StrategyCheckIn, Seed: 2, Site: inject.SiteTransEvict, Hit: 3, FTLMap: "dftl"}
+	if repro := r.Repro(); !strings.Contains(repro, "-ftlmap=dftl") || !strings.Contains(repro, "-site=trans-evict") {
+		t.Errorf("dftl repro line %q missing -ftlmap/-site", repro)
+	}
+	r.FTLMap = ""
+	if repro := r.Repro(); strings.Contains(repro, "-ftlmap") {
+		t.Errorf("dram repro line %q must not carry -ftlmap", repro)
+	}
+}

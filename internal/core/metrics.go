@@ -241,5 +241,20 @@ func (m *Metrics) Summary() string {
 	if m.RejectedWrites > 0 {
 		fmt.Fprintf(&b, "rejected writes    %d (device read-only)\n", m.RejectedWrites)
 	}
+	// dftl-mode translation traffic (all counters zero in dram mode, so the
+	// dram summary stays byte-identical).
+	if flushes := m.EndFtl.TransFlushes - m.startFtl.TransFlushes; flushes > 0 {
+		hits := m.EndFtl.CMTHits - m.startFtl.CMTHits
+		misses := m.EndFtl.CMTMisses - m.startFtl.CMTMisses
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(&b, "cmt hit ratio      %.4f (%d misses, %d evictions)\n",
+			ratio, misses, m.EndFtl.CMTEvictions-m.startFtl.CMTEvictions)
+		fmt.Fprintf(&b, "translation pages  %d flushed, %d read, %d gc-migrated\n",
+			flushes, m.EndFtl.TransReads-m.startFtl.TransReads,
+			m.EndFtl.TransMigrated-m.startFtl.TransMigrated)
+	}
 	return b.String()
 }

@@ -1,0 +1,542 @@
+package ftl
+
+// DFTL-style flash-resident mapping table (Config.FlashMap, -ftlmap=dftl).
+//
+// The dram mode keeps the whole L2P table in controller DRAM and charges a
+// probabilistic map-cache model (mapLookupCost / noteMapDirty). That hides a
+// real cost of checkpoint-by-remap: every remap dirties mapping entries that
+// must themselves be flushed to flash and garbage-collected. This layer
+// charges that cost explicitly, after Gupta et al.'s DFTL and Dayan &
+// Bonnet's translation-page GC analysis:
+//
+//   - The full table lives on flash as translation pages, each packing
+//     PageSize/8 mapping entries (8 bytes per entry). tvpn(lun) =
+//     lun / entriesPerTP addresses the translation page covering a lun.
+//   - The global translation directory (GTD) maps tvpn → the physical page
+//     (pid) holding the current version; it is small enough to pin in DRAM
+//     (and, on the real device, in power-loss-capacitor-backed SRAM).
+//   - A bounded cached mapping table (CMT) holds recently used entries in
+//     DRAM. A miss on the host path charges a real flash read of the backing
+//     translation page through the NAND timing path. Updates mark entries
+//     dirty; dirty entries write back in batches — flushing one translation
+//     page persists every dirty entry it covers (read-modify-write of the
+//     old page, program of a fresh one on the translation stream).
+//   - Translation blocks live in the same victim index as data blocks: a
+//     live translation page contributes slotsPerPage to its block's valid
+//     count, so cost-benefit/greedy/FIFO reclamation weighs translation and
+//     data pages uniformly, and GC migration relocates live translation
+//     pages exactly like live data slots (migrateLive → fmMigrateTrans).
+//
+// Within the simulator the l2p array stays authoritative in both modes;
+// flashMap tracks which entries are cached/dirty and what the flash-resident
+// copy holds (stored). The coherence invariant — a non-dirty entry's flash
+// copy equals the live map — is what the differential mapping oracle and
+// CheckInvariants verify at every sampled crash point.
+//
+// Re-entrancy: writeback programs can trigger GC, and GC rebinding dirties
+// CMT entries. Threshold flushes and capacity enforcement therefore run only
+// at top level (fm.flushing unset and gcDepth == 0); mapping updates made by
+// device-internal work accumulate and settle at the next host-path update.
+// The CMT may transiently exceed its bound inside such windows — it is
+// re-enforced at every host-path boundary.
+
+import (
+	"fmt"
+
+	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// flashMap is the per-FTL DFTL state. The zero value is the disabled layer
+// (dram mode); initFlashMap arms it.
+type flashMap struct {
+	enabled bool
+
+	cap          int // CMT bound in entries
+	entriesPerTP int // mapping entries per translation page (PageSize/8)
+	numTPs       int // translation virtual pages covering the logical space
+
+	// CMT membership and dirtiness, one bit per lun.
+	cached      []uint64
+	dirty       []uint64
+	cachedCount int
+	dirtyCount  int
+
+	// Intrusive LRU over cached luns (head = most recent, -1 = nil).
+	lruNext []int32
+	lruPrev []int32
+	lruHead int32
+	lruTail int32
+
+	// stored[lun] is the entry's value as held by the flash-resident
+	// translation page (-1 before the first flush covering it).
+	stored []int64
+	// gtd[tvpn] is the physical page id of the live translation page, -1 if
+	// the tvpn has never been flushed. tpOwner is its exact inverse.
+	gtd     []int64
+	tpOwner []int64
+	// dirtyByTP[tvpn] counts dirty cached entries per translation page —
+	// the batched-writeback selector picks the page with the most.
+	dirtyByTP []int32
+
+	// flushing guards the writeback path against re-entering itself when a
+	// translation program triggers GC whose rebinding dirties more entries.
+	flushing bool
+	// oracle arms the differential mapping oracle (tests): panic on the
+	// first coherence divergence instead of reporting it.
+	oracle bool
+}
+
+func (fm *flashMap) isCached(lun int64) bool { return fm.cached[lun>>6]&(1<<(uint64(lun)&63)) != 0 }
+func (fm *flashMap) isDirty(lun int64) bool  { return fm.dirty[lun>>6]&(1<<(uint64(lun)&63)) != 0 }
+
+func (fm *flashMap) lruUnlink(l int32) {
+	next, prev := fm.lruNext[l], fm.lruPrev[l]
+	if prev >= 0 {
+		fm.lruNext[prev] = next
+	} else {
+		fm.lruHead = next
+	}
+	if next >= 0 {
+		fm.lruPrev[next] = prev
+	} else {
+		fm.lruTail = prev
+	}
+	fm.lruNext[l], fm.lruPrev[l] = -1, -1
+}
+
+func (fm *flashMap) lruPushFront(l int32) {
+	fm.lruPrev[l] = -1
+	fm.lruNext[l] = fm.lruHead
+	if fm.lruHead >= 0 {
+		fm.lruPrev[fm.lruHead] = l
+	} else {
+		fm.lruTail = l
+	}
+	fm.lruHead = l
+}
+
+func (fm *flashMap) touch(lun int64) {
+	l := int32(lun)
+	if fm.lruHead == l {
+		return
+	}
+	fm.lruUnlink(l)
+	fm.lruPushFront(l)
+}
+
+// insert adds an uncached lun to the CMT (clean; callers dirty it
+// separately). Capacity is enforced by fmEnforceCap, not here.
+func (fm *flashMap) insert(lun int64) {
+	fm.cached[lun>>6] |= 1 << (uint64(lun) & 63)
+	fm.cachedCount++
+	fm.lruPushFront(int32(lun))
+}
+
+// remove evicts a clean cached lun.
+func (fm *flashMap) remove(lun int64) {
+	fm.cached[lun>>6] &^= 1 << (uint64(lun) & 63)
+	fm.cachedCount--
+	fm.lruUnlink(int32(lun))
+}
+
+func (fm *flashMap) tvpnOf(lun int64) int { return int(lun / int64(fm.entriesPerTP)) }
+
+func (f *FTL) pidBlock(pid int64) int { return int(pid / int64(f.pagesPerBlk)) }
+func (f *FTL) pidPage(pid int64) int  { return int(pid % int64(f.pagesPerBlk)) }
+
+// initFlashMap arms the DFTL layer (Config.FlashMap).
+func (f *FTL) initFlashMap() error {
+	if f.totalUnits > int64(^uint32(0)>>1) {
+		return fmt.Errorf("ftl: flash map: %d logical units exceed the int32 LRU index space", f.totalUnits)
+	}
+	geo := f.array.Geometry()
+	fm := &f.fm
+	fm.enabled = true
+	fm.entriesPerTP = geo.PageSize / 8
+	fm.numTPs = int((f.totalUnits + int64(fm.entriesPerTP) - 1) / int64(fm.entriesPerTP))
+	capEntries := f.cfg.CMTEntries
+	if capEntries <= 0 {
+		capEntries = int(f.cfg.MapCacheBytes / 8)
+	}
+	// Below two translation pages' worth of entries the CMT would thrash on
+	// a single flush batch; clamp to keep tiny test configs functional.
+	if min := 2 * fm.entriesPerTP; capEntries < min {
+		capEntries = min
+	}
+	fm.cap = capEntries
+	words := (f.totalUnits + 63) / 64
+	fm.cached = make([]uint64, words)
+	fm.dirty = make([]uint64, words)
+	fm.lruNext = make([]int32, f.totalUnits)
+	fm.lruPrev = make([]int32, f.totalUnits)
+	for i := range fm.lruNext {
+		fm.lruNext[i], fm.lruPrev[i] = -1, -1
+	}
+	fm.lruHead, fm.lruTail = -1, -1
+	fm.stored = make([]int64, f.totalUnits)
+	for i := range fm.stored {
+		fm.stored[i] = -1
+	}
+	fm.gtd = make([]int64, fm.numTPs)
+	for i := range fm.gtd {
+		fm.gtd[i] = -1
+	}
+	totalPages := int64(geo.TotalPages())
+	fm.tpOwner = make([]int64, totalPages)
+	for i := range fm.tpOwner {
+		fm.tpOwner[i] = -1
+	}
+	fm.dirtyByTP = make([]int32, fm.numTPs)
+	f.rlog.tp = make([]int64, totalPages)
+	for i := range f.rlog.tp {
+		f.rlog.tp[i] = -1
+	}
+	return nil
+}
+
+// FlashMapEnabled reports whether the DFTL layer is active.
+func (f *FTL) FlashMapEnabled() bool { return f.fm.enabled }
+
+// EnableMapOracle arms the differential mapping oracle (tests only): every
+// CMT miss asserts the flash-resident copy of the entry equals the live
+// all-DRAM map, panicking on the first divergence. CheckInvariants performs
+// the full-sweep form of the same check in dftl mode regardless.
+func (f *FTL) EnableMapOracle() { f.fm.oracle = true }
+
+// CMTLen returns the number of CMT-resident entries (tests/introspection).
+func (f *FTL) CMTLen() int { return f.fm.cachedCount }
+
+// fmWrite records that lun's mapping changed: the entry becomes CMT-resident
+// and dirty (a write miss needs no fetch — the flush's read-modify-write
+// merges unchanged entries from the old translation page). At top level it
+// then runs the batched dirty writeback and re-enforces the CMT bound.
+func (f *FTL) fmWrite(lun int64) {
+	fm := &f.fm
+	if fm.isCached(lun) {
+		fm.touch(lun)
+	} else {
+		fm.insert(lun)
+	}
+	if !fm.isDirty(lun) {
+		fm.dirty[lun>>6] |= 1 << (uint64(lun) & 63)
+		fm.dirtyCount++
+		fm.dirtyByTP[fm.tvpnOf(lun)]++
+	}
+	if fm.flushing || f.gcDepth > 0 {
+		return // settled at the next top-level mapping update
+	}
+	if fm.dirtyCount >= f.metaFlushAt {
+		fm.flushing = true
+		for fm.dirtyCount >= f.metaFlushAt {
+			f.flushTP(f.fmHottestTP(), inject.SiteTransFlush)
+		}
+		fm.flushing = false
+	}
+	if fm.cachedCount > fm.cap {
+		f.fmEnforceCap()
+	}
+}
+
+// fmAccessRange resolves the mapping entries for luns [first, last] through
+// the CMT on the host lookup path. Each miss inserts the entry and, when the
+// backing translation page lives on flash, charges a real page read —
+// deduplicated per tvpn within the range (consecutive luns share pages; a
+// real controller holds the fetched page in its transfer buffer across the
+// command). With wait set the reads' futures append to futs so the host
+// operation completes only after its translation fetches.
+func (f *FTL) fmAccessRange(first, last int64, wait bool, futs []*sim.Future) []*sim.Future {
+	fm := &f.fm
+	lastCharged := -1
+	for lun := first; lun <= last; lun++ {
+		if fm.isCached(lun) {
+			fm.touch(lun)
+			f.stats.CMTHits++
+			continue
+		}
+		f.stats.CMTMisses++
+		tvpn := fm.tvpnOf(lun)
+		if pid := fm.gtd[tvpn]; pid >= 0 && tvpn != lastCharged {
+			lastCharged = tvpn
+			f.stats.TransReads++
+			f.stats.ReadsByTag[TagMeta]++
+			if fut := f.readFlash(f.pidBlock(pid), f.pidPage(pid), f.array.Geometry().PageSize, wait); fut != nil {
+				futs = append(futs, fut)
+			}
+		}
+		if fm.oracle && fm.stored[lun] != f.l2p[lun] {
+			panic(fmt.Sprintf("ftl: flash map diverged at lun %d: flash-resident entry %d, live map %d (uncached entries must match their flash copy)",
+				lun, fm.stored[lun], f.l2p[lun]))
+		}
+		fm.insert(lun)
+	}
+	if fm.cachedCount > fm.cap && f.gcDepth == 0 && !fm.flushing {
+		f.fmEnforceCap()
+	}
+	return futs
+}
+
+// fmEnforceCap evicts LRU entries until the CMT is back within its bound. A
+// dirty victim first writes its whole translation page back (batched
+// eviction: one flush persists every dirty entry the page covers), then
+// leaves clean. Runs only at top level.
+func (f *FTL) fmEnforceCap() {
+	fm := &f.fm
+	for fm.cachedCount > fm.cap {
+		lun := int64(fm.lruTail)
+		if fm.isDirty(lun) {
+			fm.flushing = true
+			f.flushTP(fm.tvpnOf(lun), inject.SiteTransEvict)
+			fm.flushing = false
+			// The flush (or GC it triggered) may have reordered the LRU;
+			// re-evaluate from the tail rather than assuming the victim.
+			continue
+		}
+		fm.remove(lun)
+		f.stats.CMTEvictions++
+	}
+}
+
+// fmHottestTP returns the translation page with the most dirty entries
+// (lowest tvpn wins ties), or -1 when nothing is dirty.
+func (f *FTL) fmHottestTP() int {
+	fm := &f.fm
+	best, bestN := -1, int32(0)
+	for t, n := range fm.dirtyByTP {
+		if n > bestN {
+			best, bestN = t, n
+		}
+	}
+	return best
+}
+
+// flushTP writes back every dirty CMT entry covered by translation page
+// tvpn: read-modify-write of the old flash-resident page (when one exists),
+// a whole-page program on the translation stream, directory update, and the
+// batch marked clean. The entries stay CMT-resident — eviction is the
+// caller's decision.
+func (f *FTL) flushTP(tvpn int, site inject.Site) {
+	fm := &f.fm
+	if tvpn < 0 || fm.dirtyByTP[tvpn] == 0 {
+		return
+	}
+	if pid := fm.gtd[tvpn]; pid >= 0 {
+		// RMW read: the new page carries the old page's unchanged entries.
+		f.stats.TransReads++
+		f.stats.ReadsByTag[TagMeta]++
+		f.readFlash(f.pidBlock(pid), f.pidPage(pid), f.array.Geometry().PageSize, false)
+	}
+	f.fmInvalidateTP(tvpn)
+	f.appendTransPage(tvpn, TagMeta)
+	// The program may have triggered GC whose rebinding dirtied more entries
+	// of this page; they were serialized into the flush with the rest (the
+	// page's content is drawn from the live map at this instant).
+	first := int64(tvpn) * int64(fm.entriesPerTP)
+	last := first + int64(fm.entriesPerTP) - 1
+	if last >= f.totalUnits {
+		last = f.totalUnits - 1
+	}
+	for lun := first; lun <= last && fm.dirtyByTP[tvpn] > 0; lun++ {
+		if fm.isDirty(lun) {
+			fm.dirty[lun>>6] &^= 1 << (uint64(lun) & 63)
+			fm.dirtyCount--
+			fm.dirtyByTP[tvpn]--
+			fm.stored[lun] = f.l2p[lun]
+		}
+	}
+	f.stats.TransFlushes++
+	f.cfg.Injector.Hit(site)
+}
+
+// fmInvalidateTP retires tvpn's current flash-resident page: directory
+// detached, the page's slots invalid for GC accounting, recovery record
+// cleared. A fresh page must be appended in the same event step.
+func (f *FTL) fmInvalidateTP(tvpn int) {
+	fm := &f.fm
+	pid := fm.gtd[tvpn]
+	if pid < 0 {
+		return
+	}
+	blk := f.pidBlock(pid)
+	fm.tpOwner[pid] = -1
+	fm.gtd[tvpn] = -1
+	f.validCount[blk] -= int32(f.slotsPerPage)
+	if f.vix.linked[blk] {
+		f.vixMarkDirty(blk)
+	}
+	f.rlog.clearTransPage(pid)
+}
+
+// appendTransPage programs one whole translation page for tvpn on the
+// translation stream and publishes it in the directory before the frontier
+// advances — GC triggered by the advance must already see the page as live.
+// Returns the new physical page id.
+func (f *FTL) appendTransPage(tvpn int, tag Tag) int64 {
+	idx := f.rr[StreamTrans] % len(f.fronts[StreamTrans])
+	f.rr[StreamTrans]++
+	fr, block := f.openFrontier(StreamTrans, idx)
+	pageSize := f.array.Geometry().PageSize
+	for f.array.SampleProgramFail(block) {
+		// The page content survives in controller DRAM (CMT + old page), so
+		// nothing restages: charge the ruined page, condemn the block, and
+		// retry on a fresh one.
+		f.array.ProgramFailedAttempt(block, pageSize)
+		f.written[block] += int32(f.slotsPerPage)
+		f.noteProgramFail(block, StreamTrans, 0)
+		fr.block = -1
+		fr, block = f.openFrontier(StreamTrans, idx)
+	}
+	page := f.array.ProgramPageNoWait(block, pageSize)
+	pid := int64(block)*int64(f.pagesPerBlk) + int64(page)
+	f.written[block] += int32(f.slotsPerPage)
+	f.validCount[block] += int32(f.slotsPerPage)
+	f.stats.ProgramsByTag[tag]++
+	f.fm.tpOwner[pid] = int64(tvpn)
+	f.fm.gtd[tvpn] = pid
+	f.rlog.noteTransWrite(pid, tvpn)
+	f.advanceFrontier(fr, block)
+	return pid
+}
+
+// fmMigrateTrans relocates every live translation page of block b onto a
+// fresh translation-stream page — the translation half of migrateLive. Data
+// and translation blocks share the victim index, so a GC victim, a
+// wear-level source or a retiring bad block may hold live translation pages
+// alongside (or instead of) live data slots.
+func (f *FTL) fmMigrateTrans(b int) {
+	fm := &f.fm
+	if !fm.enabled {
+		return
+	}
+	basePid := int64(b) * int64(f.pagesPerBlk)
+	pageSize := f.array.Geometry().PageSize
+	for p := 0; p < f.pagesPerBlk; p++ {
+		pid := basePid + int64(p)
+		tvpn := fm.tpOwner[pid]
+		if tvpn < 0 {
+			continue
+		}
+		f.stats.ReadsByTag[TagGC]++
+		f.stats.TransReads++
+		f.readFlash(b, p, pageSize, false)
+		f.fmInvalidateTP(int(tvpn))
+		f.appendTransPage(int(tvpn), TagGC)
+		f.stats.TransMigrated++
+		f.cfg.Injector.Hit(inject.SiteTransGC)
+	}
+}
+
+// fmCheckInvariants verifies the DFTL layer (called from CheckInvariants in
+// dftl mode): CMT bitmap/LRU agreement, per-page dirty counters, the
+// GTD ↔ tpOwner ↔ recovery-record bijection, live translation pages sitting
+// on programmed pages of in-service blocks, and the coherence sweep — every
+// non-dirty entry's flash-resident copy equals the live map.
+func (f *FTL) fmCheckInvariants(report func(format string, args ...any)) {
+	fm := &f.fm
+	cachedSeen, dirtySeen := 0, 0
+	for lun := int64(0); lun < f.totalUnits; lun++ {
+		c, d := fm.isCached(lun), fm.isDirty(lun)
+		if c {
+			cachedSeen++
+		}
+		if d {
+			dirtySeen++
+			if !c {
+				report("lun %d dirty but not CMT-resident", lun)
+			}
+		}
+		if !d && fm.stored[lun] != f.l2p[lun] {
+			report("flash map incoherent at lun %d: stored %d live %d (entry not dirty)",
+				lun, fm.stored[lun], f.l2p[lun])
+		}
+		if !c && (fm.lruNext[lun] != -1 || fm.lruPrev[lun] != -1) {
+			report("uncached lun %d keeps LRU links (%d, %d)", lun, fm.lruNext[lun], fm.lruPrev[lun])
+		}
+	}
+	if cachedSeen != fm.cachedCount {
+		report("CMT count %d but %d cached bits", fm.cachedCount, cachedSeen)
+	}
+	if dirtySeen != fm.dirtyCount {
+		report("CMT dirty count %d but %d dirty bits", fm.dirtyCount, dirtySeen)
+	}
+
+	// LRU walk: exactly the cached set, consistent back-links, no cycle.
+	walked := 0
+	prev := int32(-1)
+	for l := fm.lruHead; l >= 0; l = fm.lruNext[l] {
+		if fm.lruPrev[l] != prev {
+			report("LRU back-link of lun %d is %d, want %d", l, fm.lruPrev[l], prev)
+			break
+		}
+		if !fm.isCached(int64(l)) {
+			report("LRU holds uncached lun %d", l)
+		}
+		walked++
+		if walked > fm.cachedCount {
+			report("LRU cycle or length > %d cached entries", fm.cachedCount)
+			break
+		}
+		prev = l
+	}
+	if walked != fm.cachedCount {
+		report("LRU walk covers %d entries, CMT holds %d", walked, fm.cachedCount)
+	} else if fm.lruTail != prev {
+		report("LRU tail %d, walk ended at %d", fm.lruTail, prev)
+	}
+
+	// Per-translation-page dirty counters.
+	dirtyByTP := make([]int32, fm.numTPs)
+	for lun := int64(0); lun < f.totalUnits; lun++ {
+		if fm.isDirty(lun) {
+			dirtyByTP[fm.tvpnOf(lun)]++
+		}
+	}
+	for t := range dirtyByTP {
+		if dirtyByTP[t] != fm.dirtyByTP[t] {
+			report("tvpn %d dirty counter %d but %d dirty entries", t, fm.dirtyByTP[t], dirtyByTP[t])
+		}
+	}
+
+	// Directory bijection + recovery-record mirror + block placement.
+	for tvpn, pid := range fm.gtd {
+		if pid < 0 {
+			continue
+		}
+		if fm.tpOwner[pid] != int64(tvpn) {
+			report("gtd[%d] = pid %d but tpOwner says %d", tvpn, pid, fm.tpOwner[pid])
+		}
+		blk := f.pidBlock(pid)
+		if f.pidPage(pid) >= f.array.ProgrammedPages(blk) {
+			report("gtd[%d] = pid %d on unprogrammed page", tvpn, pid)
+		}
+		switch f.state[blk] {
+		case blockFree, blockSpare:
+			report("live translation page %d sits on block %d in state %d", pid, blk, f.state[blk])
+		}
+	}
+	owners := 0
+	for pid, tvpn := range fm.tpOwner {
+		if tvpn < 0 {
+			if f.rlog.tp[pid] != -1 {
+				report("pid %d has stale translation recovery record %d", pid, f.rlog.tp[pid])
+			}
+			continue
+		}
+		owners++
+		if fm.gtd[tvpn] != int64(pid) {
+			report("tpOwner[%d] = tvpn %d but gtd points at %d", pid, tvpn, fm.gtd[tvpn])
+		}
+		if f.rlog.tp[pid] != tvpn {
+			report("pid %d translation recovery record %d, want tvpn %d", pid, f.rlog.tp[pid], tvpn)
+		}
+	}
+	live := 0
+	for _, pid := range fm.gtd {
+		if pid >= 0 {
+			live++
+		}
+	}
+	if owners != live {
+		report("%d pages own a tvpn but %d directory entries are live", owners, live)
+	}
+}

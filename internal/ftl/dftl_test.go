@@ -1,0 +1,248 @@
+package ftl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/nand"
+	"github.com/checkin-kv/checkin/internal/sim"
+)
+
+// dftlGeo doubles smallGeo's block count so the logical space (716 units)
+// exceeds the CMT floor (two translation pages = 512 entries): capacity
+// evictions are reachable, not just threshold flushes. 2 KB pages keep
+// entriesPerTP at 256, giving three translation virtual pages.
+func dftlGeo() nand.Geometry {
+	return nand.Geometry{
+		Channels: 1, PackagesPerChannel: 1, DiesPerPackage: 1, PlanesPerDie: 1,
+		BlocksPerPlane: 32, PagesPerBlock: 8, PageSize: 2048,
+	}
+}
+
+// dftlCfg arms the flash-resident mapping table at the smallest legal CMT
+// (CMTEntries below the floor clamps up to 512) with a writeback batch small
+// enough that the tiny workloads here cross it many times.
+func dftlCfg() Config {
+	c := smallCfg()
+	c.FlashMap = true
+	c.CMTEntries = 1
+	c.MetaFlushEntries = 96
+	return c
+}
+
+func newDFTL(t *testing.T, cfg Config) (*sim.Engine, *nand.Array, *FTL) {
+	t.Helper()
+	e := sim.NewEngine()
+	arr, err := nand.New(e, dftlGeo(), fastTim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(e, arr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, arr, f
+}
+
+// settleCMT issues one top-level host write so deferred cap enforcement
+// (updates made inside GC or a writeback settle at the next host-path
+// mapping update) has run before the test asserts the bound.
+func settleCMT(e *sim.Engine, f *FTL) {
+	f.Write(0, int64(f.unit), TagHostData, StreamData)
+	f.Sync(StreamData, TagHostData)
+	e.Run()
+}
+
+// TestMappingOracle is the differential test for the dftl tentpole: under
+// all three GC policies and three seeds, the flash-resident mapping table
+// runs with the mapping oracle armed — every CMT miss asserts the
+// translation-page copy of the entry equals the live map, panicking at the
+// faulting access on the first divergence — while the victim-oracle
+// workload drives skewed overwrites, trims, remaps, syncs and background
+// GC. The FTL must keep every dftl invariant (CMT/LRU/directory coherence,
+// full-sweep stored-vs-live agreement), survive a lossless SPOR rebuild of
+// the translation directory, and keep doing all of the above after a
+// Snapshot/Restore round trip carries the whole dftl state into a fresh
+// instance.
+func TestMappingOracle(t *testing.T) {
+	for _, pol := range []GCPolicy{GCGreedy, GCCostBenefit, GCFIFO} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", pol, seed), func(t *testing.T) {
+				cfg := dftlCfg()
+				cfg.GCPolicy = pol
+				e, arr, f := newDFTL(t, cfg)
+				f.EnableMapOracle()
+
+				rng := benchRNG(0xa0761d6478bd642f ^ uint64(seed)*0xe7037ed1a0b428db)
+				oracleWorkload(t, e, f, &rng, 2048)
+				if f.stats.TransFlushes == 0 || f.stats.CMTMisses == 0 {
+					t.Fatalf("workload exercised no translation traffic (flushes=%d misses=%d)",
+						f.stats.TransFlushes, f.stats.CMTMisses)
+				}
+				settleCMT(e, f)
+				if f.fm.cachedCount > f.fm.cap {
+					t.Fatalf("CMT over bound at top level: %d > %d", f.fm.cachedCount, f.fm.cap)
+				}
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if rep := f.VerifySPOR(); rep.Mismatches != 0 {
+					t.Fatalf("SPOR lost durable state: %s", rep)
+				}
+
+				// Round trip: the restored instance must hold the identical
+				// CMT, directory and flash-resident copies, and keep the
+				// oracle quiet for the rest of the workload.
+				st, err := f.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				f2, err := New(e, arr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f2.Restore(st); err != nil {
+					t.Fatal(err)
+				}
+				f2.EnableMapOracle()
+				if err := f2.CheckInvariants(); err != nil {
+					t.Fatalf("restored FTL: %v", err)
+				}
+				oracleWorkload(t, e, f2, &rng, 1024)
+				settleCMT(e, f2)
+				if f2.fm.cachedCount > f2.fm.cap {
+					t.Fatalf("restored CMT over bound: %d > %d", f2.fm.cachedCount, f2.fm.cap)
+				}
+				if err := f2.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if rep := f2.VerifySPOR(); rep.Mismatches != 0 {
+					t.Fatalf("restored SPOR lost durable state: %s", rep)
+				}
+			})
+		}
+	}
+}
+
+// TestTransGCCrashConsistency covers the trans-gc injection site at the FTL
+// layer. The full-stack crash matrix cannot reach it: by the time the
+// collector wants a translation block, uniform tvpn rotation has already
+// killed every page on it, so it reclaims dead (the same reason the
+// wear-level site lives in TestWearLevelCrashConsistency). Here we collect
+// a block that still holds live translation pages directly and crash at the
+// instant each page has been migrated: the directory, recovery records and
+// coherence sweep must all hold, and the SPOR rebuild must reproduce the
+// directory without loss.
+func TestTransGCCrashConsistency(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := dftlCfg()
+		inj := inject.New()
+		cfg.Injector = inj
+		e, _, f := newDFTL(t, cfg)
+
+		// Spread writes across the whole space so flushes populate all
+		// three translation virtual pages.
+		unit := int64(f.unit)
+		luns := f.logicalBytes / unit
+		for i := 0; i < 1200; i++ {
+			lun := (int64(seed)*31 + int64(i)*7) % luns
+			f.Write(lun*unit, unit, TagHostData, StreamData)
+			if i%64 == 63 {
+				f.Sync(StreamData, TagHostData)
+				e.Run()
+			}
+		}
+		f.Sync(StreamData, TagHostData)
+		e.Run()
+
+		// Pick a victim holding a live translation page, skipping any open
+		// frontier block (the collector never chooses one either).
+		open := map[int]bool{}
+		for s := 0; s < int(numStreams); s++ {
+			for _, fr := range f.fronts[s] {
+				if fr.block >= 0 {
+					open[fr.block] = true
+				}
+			}
+		}
+		victim := -1
+		for pid, tvpn := range f.fm.tpOwner {
+			if tvpn >= 0 && !open[f.pidBlock(int64(pid))] {
+				victim = f.pidBlock(int64(pid))
+				break
+			}
+		}
+		if victim < 0 {
+			t.Fatalf("seed=%d: no closed block holds a live translation page", seed)
+		}
+
+		crashed := 0
+		inj.Arm(inject.SiteTransGC, 0, nil, func(site inject.Site, hit int) {
+			crashed++
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("seed=%d site=%s hit=%d: %v", seed, site, hit, err)
+			}
+			if rep := f.VerifySPOR(); rep.Mismatches != 0 {
+				t.Fatalf("seed=%d site=%s hit=%d: SPOR lost durable state: %s", seed, site, hit, rep)
+			}
+		})
+		before := f.stats.TransMigrated
+		f.gcDepth++
+		f.collectBlock(victim)
+		f.gcDepth--
+		e.Run()
+
+		if crashed == 0 {
+			t.Fatalf("seed=%d: trans-gc site never fired", seed)
+		}
+		if f.stats.TransMigrated == before {
+			t.Fatalf("seed=%d: collector migrated no translation pages", seed)
+		}
+		for p := 0; p < f.pagesPerBlk; p++ {
+			if tv := f.fm.tpOwner[int64(victim)*int64(f.pagesPerBlk)+int64(p)]; tv >= 0 {
+				t.Fatalf("seed=%d: collected block %d still owns tvpn %d", seed, victim, tv)
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if rep := f.VerifySPOR(); rep.Mismatches != 0 {
+			t.Fatalf("seed=%d: post-GC SPOR lost durable state: %s", seed, rep)
+		}
+	}
+}
+
+// FuzzCMTEviction lets the fuzzer pick the CMT bound, the writeback batch
+// size and the workload shape, then replays the oracle workload with the
+// mapping oracle armed: any divergence between the flash-resident table and
+// the live map panics at the faulting access, any structural break fails
+// CheckInvariants, and the SPOR rebuild must stay lossless. Sub-floor CMT
+// bounds exercise the clamp; batch size 1 forces a writeback per dirtied
+// translation page.
+func FuzzCMTEviction(f *testing.F) {
+	f.Add(uint64(1), uint16(1), uint16(96), uint16(1024))
+	f.Add(uint64(2), uint16(700), uint16(8), uint16(512))
+	f.Add(uint64(3), uint16(520), uint16(200), uint16(1500))
+	f.Add(uint64(0x9e3779b9), uint16(513), uint16(1), uint16(768))
+	f.Fuzz(func(t *testing.T, seed uint64, capEntries, flushAt, rounds uint16) {
+		cfg := dftlCfg()
+		cfg.CMTEntries = int(capEntries) // clamps up to the 512-entry floor
+		cfg.MetaFlushEntries = int(flushAt)%512 + 1
+		e, _, ftl := newDFTL(t, cfg)
+		ftl.EnableMapOracle()
+
+		rng := benchRNG(seed | 1)
+		oracleWorkload(t, e, ftl, &rng, int(rounds)%1536+64)
+		settleCMT(e, ftl)
+		if ftl.fm.cachedCount > ftl.fm.cap {
+			t.Fatalf("CMT over bound: %d > %d", ftl.fm.cachedCount, ftl.fm.cap)
+		}
+		if err := ftl.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if rep := ftl.VerifySPOR(); rep.Mismatches != 0 {
+			t.Fatalf("SPOR lost durable state: %s", rep)
+		}
+	})
+}

@@ -64,6 +64,9 @@ const (
 	StreamData
 	StreamGC
 	StreamMeta
+	// StreamTrans carries flash-resident translation pages (dftl mode only;
+	// never allocated under the default DRAM-resident mapping).
+	StreamTrans
 	numStreams
 )
 
@@ -170,6 +173,16 @@ type Config struct {
 	// retired after program/erase failures. When the pool is exhausted the
 	// FTL degrades to read-only. 0 reserves nothing (reliability off).
 	SpareBlocksPerDie int
+
+	// FlashMap enables the DFTL-style flash-resident mapping table (see
+	// dftl.go): a bounded CMT in controller DRAM backed by translation
+	// pages on flash, replacing the probabilistic map-cache model with real
+	// NAND traffic for mapping misses, writebacks and translation-page GC.
+	FlashMap bool
+
+	// CMTEntries bounds the cached mapping table under FlashMap, in
+	// entries. 0 derives the bound from MapCacheBytes (8 bytes per entry).
+	CMTEntries int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -246,6 +259,17 @@ type Stats struct {
 	ProgramFailMoves uint64
 	RetiredBlocks    uint64
 	ReadReclaims     uint64
+
+	// DFTL-mode counters (all zero under the DRAM-resident mapping):
+	// cached-mapping-table traffic, translation-page writeback programs,
+	// translation-page reads (demand fetches plus flush RMW plus GC reads),
+	// and live translation pages relocated by GC.
+	CMTHits       uint64
+	CMTMisses     uint64
+	CMTEvictions  uint64
+	TransFlushes  uint64
+	TransReads    uint64
+	TransMigrated uint64
 }
 
 // RedundantWrites returns the paper's "duplicate writes" metric: programs
@@ -391,8 +415,12 @@ type FTL struct {
 	// runs from churning the allocator.
 	ovFree [][]int64
 
+	// fm is the DFTL-style flash-resident mapping layer (dftl.go); its zero
+	// value is the disabled layer (DRAM-resident mapping, the default).
+	fm flashMap
+
 	// rlog is the persistent recovery state (OOB records, remap aliases,
-	// trim extents) backing SimulateSPOR.
+	// trim extents, translation-page records) backing SimulateSPOR.
 	rlog *recoveryLog
 
 	stats Stats
@@ -491,6 +519,11 @@ func New(eng *sim.Engine, array *nand.Array, cfg Config) (*FTL, error) {
 		f.metaFlushAt = geo.PageSize / 8
 	}
 	f.rlog = newRecoveryLog(totalSlots)
+	if cfg.FlashMap {
+		if err := f.initFlashMap(); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -558,6 +591,9 @@ func (f *FTL) bindSlot(lun, sid int64) {
 		f.vixMarkDirty(blk)
 	}
 	f.noteMapDirty(1)
+	if f.fm.enabled {
+		f.fmWrite(lun)
+	}
 }
 
 // shareSlot adds lun as an additional reference to sid (checkpoint remap).
@@ -581,6 +617,9 @@ func (f *FTL) shareSlot(lun, sid int64) {
 	f.revOverflow[sid] = append(ov, lun)
 	f.rlog.noteAlias(sid, lun)
 	f.noteMapDirty(1)
+	if f.fm.enabled {
+		f.fmWrite(lun)
+	}
 }
 
 // takeOv returns an interned overflow slice (or a fresh one). Checkpoint
@@ -680,6 +719,11 @@ func (f *FTL) lunsOf(sid int64) []int64 {
 // map metadata model
 
 func (f *FTL) noteMapDirty(n int) {
+	if f.fm.enabled {
+		// dftl mode: mapping persistence is per-entry through the CMT
+		// (fmWrite), not the batched probabilistic model.
+		return
+	}
 	f.dirtyMapEntries += n
 	for f.dirtyMapEntries >= f.metaFlushAt {
 		f.dirtyMapEntries -= f.metaFlushAt
@@ -718,6 +762,11 @@ func (f *FTL) programMetaPage() {
 // not fit in DRAM misses at lookup time; misses serialize on the map engine
 // and delay the operation by MapMissPenalty.
 func (f *FTL) mapLookupCost(lookups int) sim.VTime {
+	if f.fm.enabled {
+		// dftl mode: lookup cost is charged per miss as a real translation-
+		// page read (fmAccessRange), not by the probabilistic model.
+		return 0
+	}
 	tableBytes := f.MappingTableBytes()
 	if tableBytes <= f.cfg.MapCacheBytes || f.cfg.MapMissPenalty == 0 {
 		return 0
@@ -936,6 +985,11 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 	delay := f.mapLookupCost(lookups)
 
 	futs := f.writeFuts[:0]
+	if f.fm.enabled {
+		// The old mappings must be resolved before they are invalidated:
+		// misses fetch translation pages the write then waits on.
+		futs = f.fmAccessRange(first, last, true, futs)
+	}
 	for lun := first; lun <= last; lun++ {
 		unitStart := lun * int64(f.unit)
 		unitEnd := unitStart + int64(f.unit)
@@ -977,6 +1031,12 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 		f.readFuts = make([]*sim.Future, 0, lookups)
 		f.pageOrder = make([]int64, 0, lookups)
 	}
+	futs := f.readFuts[:0]
+	if f.fm.enabled {
+		// Resolve translations first: a miss-triggered writeback can run GC,
+		// which moves slots — physical pages are captured only afterwards.
+		futs = f.fmAccessRange(first, last, true, futs)
+	}
 	f.epoch++
 	order := f.pageOrder[:0]
 	for lun := first; lun <= last; lun++ {
@@ -992,7 +1052,6 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 		}
 		f.pageCount[pid]++
 	}
-	futs := f.readFuts[:0]
 	for _, pid := range order {
 		f.stats.ReadsByTag[TagHostData]++
 		block := int(pid / int64(f.pagesPerBlk))
@@ -1037,6 +1096,11 @@ func (f *FTL) trimUnmap(lun int64) {
 	}
 	f.l2p[lun] = -1
 	f.dropRef(sid, lun)
+	if f.fm.enabled {
+		// Each cleared entry must persist individually through the CMT (the
+		// extent record covers host-visible recovery, not the on-flash table).
+		f.fmWrite(lun)
+	}
 }
 
 // RemapResult reports what a Remap did.
@@ -1070,6 +1134,12 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 	var res RemapResult
 	futs := f.remapFuts[:0]
 	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
+	if f.fm.enabled && n > 0 {
+		// Source and destination entries both resolve up front — the remap
+		// reads the source mapping and invalidates the old destination one.
+		futs = f.fmAccessRange(src/int64(f.unit), (src+n-1)/int64(f.unit), true, futs)
+		futs = f.fmAccessRange(dst/int64(f.unit), (dst+n-1)/int64(f.unit), true, futs)
+	}
 
 	for rel := int64(0); rel < n; rel += int64(f.unit) {
 		dstLun := (dst + rel) / int64(f.unit)
@@ -1147,8 +1217,14 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 	if spanCap := int(sLast-sFirst) + 2; cap(f.copyFuts) < spanCap {
 		f.copyFuts = make([]*sim.Future, 0, spanCap)
 	}
-	f.epoch++
 	futs := f.copyFuts[:0]
+	if f.fm.enabled && !srcInBuffer {
+		// Flash-sourced copies resolve the source mapping first (a buffered
+		// source reads through the DRAM cache and needs no translation);
+		// the destination resolves inside the nested Write.
+		futs = f.fmAccessRange(sFirst, sLast, true, futs)
+	}
+	f.epoch++
 	for l := sFirst; l <= sLast && !srcInBuffer; l++ {
 		if sid := f.l2p[l]; sid >= 0 && !f.isBuffered(sid) {
 			pid := sid / int64(f.slotsPerPage)
@@ -1366,6 +1442,10 @@ func (f *FTL) collectBlock(b int) {
 func (f *FTL) migrateLive(b int) {
 	slotsPerBlock := f.pagesPerBlk * f.slotsPerPage
 	base := f.slotID(b, 0, 0)
+
+	// translation pass: relocate live translation pages first (dftl mode) —
+	// a victim may hold them alongside or instead of live data slots
+	f.fmMigrateTrans(b)
 
 	// read pass: one flash read per page holding any valid slot
 	lastPage := -1

@@ -27,6 +27,9 @@ import (
 //     (bar one mid-collection victim) is linked in the bucket matching its
 //     valid count, bucket counts/bitmap/cached-best/cheapCount all agree,
 //     and each stream's partial-page marker matches its frontiers.
+//  6. In dftl mode (Config.FlashMap) the cached mapping table, its LRU, the
+//     global translation directory and the flash-resident entry copies are
+//     mutually consistent — see fmCheckInvariants in dftl.go.
 func (f *FTL) CheckInvariants() error {
 	const maxViolations = 8
 	var violations []string
@@ -91,14 +94,26 @@ func (f *FTL) CheckInvariants() error {
 				report("slot %d primary reverse mapping %d does not map back", sid, f.rev[sid])
 			}
 		}
-		if f.validCount[b] != live {
-			report("block %d validCount %d but %d live slots", b, f.validCount[b], live)
+		// dftl mode: a live translation page contributes a whole page's worth
+		// of valid slots to its block (that is how translation blocks compete
+		// in the shared victim index).
+		tpSlots := int32(0)
+		if f.fm.enabled {
+			basePid := int64(b) * int64(f.pagesPerBlk)
+			for p := 0; p < f.pagesPerBlk; p++ {
+				if f.fm.tpOwner[basePid+int64(p)] >= 0 {
+					tpSlots += int32(f.slotsPerPage)
+				}
+			}
 		}
-		if f.written[b] < live {
-			report("block %d written %d < %d live slots", b, f.written[b], live)
+		if f.validCount[b] != live+tpSlots {
+			report("block %d validCount %d but %d live slots + %d translation slots", b, f.validCount[b], live, tpSlots)
 		}
-		if f.state[b] == blockFree && live > 0 {
-			report("free block %d holds %d live slots", b, live)
+		if f.written[b] < live+tpSlots {
+			report("block %d written %d < %d live slots + %d translation slots", b, f.written[b], live, tpSlots)
+		}
+		if f.state[b] == blockFree && (live > 0 || tpSlots > 0) {
+			report("free block %d holds %d live slots, %d translation slots", b, live, tpSlots)
 		}
 	}
 
@@ -160,6 +175,10 @@ func (f *FTL) CheckInvariants() error {
 
 	// 5: victim index and partial-page markers.
 	f.checkVictimIndex(report)
+	// 6: dftl mode — CMT/LRU/directory consistency and the coherence sweep.
+	if f.fm.enabled {
+		f.fmCheckInvariants(report)
+	}
 	for s := Stream(0); s < numStreams; s++ {
 		want := -1
 		for i := range f.fronts[s] {

@@ -28,12 +28,16 @@ type trimExtent struct {
 }
 
 // recoveryLog is the FTL's persistent recovery state: primary OOB per slot,
-// alias records from remaps, and trim extents.
+// alias records from remaps, and trim extents. In dftl mode each translation
+// page's OOB additionally records the tvpn it holds (tp, indexed by physical
+// page id; allocated only when the flash map is on), which is what rebuilds
+// the global translation directory after a sudden power-off.
 type recoveryLog struct {
 	seq     uint64
 	oob     []oobRecord           // indexed by slot id; seq 0 = never written
 	aliases map[int64][]oobRecord // slot id → alias bindings from remaps
 	trims   []trimExtent
+	tp      []int64 // pid → tvpn of the live translation page it holds (-1)
 }
 
 func newRecoveryLog(totalSlots int64) *recoveryLog {
@@ -77,6 +81,18 @@ func (r *recoveryLog) clearSlot(sid int64) {
 	delete(r.aliases, sid)
 }
 
+// noteTransWrite records that physical page pid now holds the live
+// translation page for tvpn (dftl mode only; tp is nil in dram mode).
+func (r *recoveryLog) noteTransWrite(pid int64, tvpn int) {
+	r.tp[pid] = int64(tvpn)
+}
+
+// clearTransPage drops a translation page's OOB record when it is
+// invalidated (superseded by a rewrite, migrated by GC, or erased).
+func (r *recoveryLog) clearTransPage(pid int64) {
+	r.tp[pid] = -1
+}
+
 // SPORReport describes a simulated sudden-power-off recovery.
 type SPORReport struct {
 	ScannedPages  int
@@ -91,7 +107,10 @@ type SPORReport struct {
 	// Mismatches, which flags only durable state the OOB scheme failed to
 	// reconstruct.
 	VolatileLost int64
-	Duration     sim.VTime
+	// TransPages counts live translation pages whose OOB records rebuilt the
+	// global translation directory (dftl mode only; zero in dram mode).
+	TransPages int64
+	Duration   sim.VTime
 }
 
 // SimulateSPOR models a sudden power-off at the current instant followed by
@@ -200,11 +219,49 @@ func (f *FTL) VerifySPOR() *SPORReport {
 		}
 	}
 	rep.BoundUnits = int64(len(rebuilt))
+
+	// 4. dftl mode: rebuild the global translation directory from the
+	// translation-page OOB records and compare it against the live GTD. Each
+	// live translation page's OOB names the tvpn it holds; a crash must never
+	// leave the scan unable to reproduce the directory exactly (translation
+	// pages are written through the capacitor-backed metadata path, and the
+	// invalidate-then-append discipline means at most one page claims a tvpn).
+	if f.fm.enabled {
+		gtd := make([]int64, f.fm.numTPs)
+		for i := range gtd {
+			gtd[i] = -1
+		}
+		for pid, tv := range f.rlog.tp {
+			if tv < 0 {
+				continue
+			}
+			rep.TransPages++
+			if f.pidPage(int64(pid)) >= f.array.ProgrammedPages(f.pidBlock(int64(pid))) {
+				rep.Mismatches++ // OOB claims a page that was never programmed
+				continue
+			}
+			if gtd[tv] >= 0 {
+				rep.Mismatches++ // two live pages claim the same tvpn
+				continue
+			}
+			gtd[tv] = int64(pid)
+		}
+		for tv, pid := range gtd {
+			if pid != f.fm.gtd[tv] {
+				rep.Mismatches++
+			}
+		}
+	}
 	return rep
 }
 
-// String renders the report.
+// String renders the report. The translation-page clause appears only in
+// dftl mode so dram-mode output stays byte-identical.
 func (r *SPORReport) String() string {
-	return fmt.Sprintf("SPOR: scanned %d pages, rebuilt %d units (%d aliases, %d trims) in %v, %d mismatches, %d volatile-lost",
+	s := fmt.Sprintf("SPOR: scanned %d pages, rebuilt %d units (%d aliases, %d trims) in %v, %d mismatches, %d volatile-lost",
 		r.ScannedPages, r.BoundUnits, r.AliasBindings, r.TrimsReplayed, r.Duration, r.Mismatches, r.VolatileLost)
+	if r.TransPages > 0 {
+		s += fmt.Sprintf(", %d trans-pages", r.TransPages)
+	}
+	return s
 }

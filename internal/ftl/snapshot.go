@@ -45,6 +45,21 @@ type FTLState struct {
 	rlogOOB     []oobRecord
 	rlogAliases map[int64][]oobRecord
 	rlogTrims   []trimExtent
+	rlogTP      []int64
+
+	// DFTL layer (nil/zero in dram mode).
+	fmCached      []uint64
+	fmDirty       []uint64
+	fmCachedCount int
+	fmDirtyCount  int
+	fmLruNext     []int32
+	fmLruPrev     []int32
+	fmLruHead     int32
+	fmLruTail     int32
+	fmStored      []int64
+	fmGtd         []int64
+	fmTpOwner     []int64
+	fmDirtyByTP   []int32
 
 	stats Stats
 }
@@ -121,6 +136,24 @@ func (f *FTL) Snapshot() (*FTLState, error) {
 	for sid, recs := range f.rlog.aliases {
 		st.rlogAliases[sid] = append([]oobRecord(nil), recs...)
 	}
+	if f.fm.enabled {
+		if f.fm.flushing {
+			return nil, fmt.Errorf("ftl: snapshot during translation-page writeback")
+		}
+		st.rlogTP = append([]int64(nil), f.rlog.tp...)
+		st.fmCached = append([]uint64(nil), f.fm.cached...)
+		st.fmDirty = append([]uint64(nil), f.fm.dirty...)
+		st.fmCachedCount = f.fm.cachedCount
+		st.fmDirtyCount = f.fm.dirtyCount
+		st.fmLruNext = append([]int32(nil), f.fm.lruNext...)
+		st.fmLruPrev = append([]int32(nil), f.fm.lruPrev...)
+		st.fmLruHead = f.fm.lruHead
+		st.fmLruTail = f.fm.lruTail
+		st.fmStored = append([]int64(nil), f.fm.stored...)
+		st.fmGtd = append([]int64(nil), f.fm.gtd...)
+		st.fmTpOwner = append([]int64(nil), f.fm.tpOwner...)
+		st.fmDirtyByTP = append([]int32(nil), f.fm.dirtyByTP...)
+	}
 	return st, nil
 }
 
@@ -193,6 +226,26 @@ func (f *FTL) Restore(st *FTLState) error {
 		f.rlog.aliases[sid] = append([]oobRecord(nil), recs...)
 	}
 	f.rlog.trims = append(f.rlog.trims[:0], st.rlogTrims...)
+
+	if f.fm.enabled {
+		if st.fmCached == nil {
+			return fmt.Errorf("ftl: restore of a dram-mode snapshot into a dftl-mode FTL")
+		}
+		copy(f.rlog.tp, st.rlogTP)
+		copy(f.fm.cached, st.fmCached)
+		copy(f.fm.dirty, st.fmDirty)
+		f.fm.cachedCount = st.fmCachedCount
+		f.fm.dirtyCount = st.fmDirtyCount
+		copy(f.fm.lruNext, st.fmLruNext)
+		copy(f.fm.lruPrev, st.fmLruPrev)
+		f.fm.lruHead = st.fmLruHead
+		f.fm.lruTail = st.fmLruTail
+		copy(f.fm.stored, st.fmStored)
+		copy(f.fm.gtd, st.fmGtd)
+		copy(f.fm.tpOwner, st.fmTpOwner)
+		copy(f.fm.dirtyByTP, st.fmDirtyByTP)
+		f.fm.flushing = false
+	}
 
 	f.gcDepth = 0
 	f.stats = st.stats

@@ -63,6 +63,11 @@ type Opts struct {
 	// checkin.Config.Domains; rendered tables are byte-identical at any
 	// setting — the domains change only wall-clock time.
 	Domains string
+	// FTLMap selects the mapping-table model for every run ("" or "dram" =
+	// full table in DRAM, "dftl" = flash-resident translation pages).
+	// Forwarded verbatim to checkin.Config.FTLMap; dftl shifts the reported
+	// numbers because mapping misses and writebacks cost flash operations.
+	FTLMap string
 }
 
 // snapshotsOn reports whether the template cache is enabled (the default).
@@ -227,6 +232,7 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	cfg.Keys = 50_000
 	cfg.CheckpointInterval = 300 * time.Millisecond
 	cfg.Domains = o.Domains
+	cfg.FTLMap = o.FTLMap
 	if o.Errors != "" && o.Errors != "off" {
 		p, err := checkin.ParseErrorProfile(o.Errors)
 		if err != nil {

@@ -73,6 +73,21 @@ const (
 	// draining the retirement queue.
 	SiteBadBlockRetire
 
+	// The translation-page sites below fire only under -ftlmap=dftl (the
+	// flash-resident mapping table); dram-mode census runs show zero hits
+	// and the matrix skips them.
+
+	// SiteTransFlush fires after a dirty-threshold translation-page
+	// writeback: a batch of dirty CMT entries is durable on a fresh
+	// translation page and the directory points at it.
+	SiteTransFlush
+	// SiteTransEvict fires after a CMT capacity eviction wrote back the
+	// victim's dirty translation page.
+	SiteTransEvict
+	// SiteTransGC fires after GC migrated a live translation page out of a
+	// victim block (data and translation blocks share the victim index).
+	SiteTransGC
+
 	// NumSites is the catalog size.
 	NumSites
 )
@@ -108,6 +123,12 @@ func (s Site) String() string {
 		return "erase-fail"
 	case SiteBadBlockRetire:
 		return "bad-block-retire"
+	case SiteTransFlush:
+		return "trans-flush"
+	case SiteTransEvict:
+		return "trans-evict"
+	case SiteTransGC:
+		return "trans-gc"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

@@ -148,6 +148,14 @@ func LoadFingerprint(cfg Config) (uint64, bool) {
 		cfg.EraseLatency.Nanoseconds(), cfg.ChannelMBps, cfg.MaxPECycles)
 	fmt.Fprintf(h, "|ftl=%d/%v/%d/%s/%v/%d", cfg.MappingUnit, cfg.OverProvision,
 		cfg.MapCacheMB, cfg.GCPolicy, deferGC, cfg.WearDeltaThreshold)
+	if cfg.FTLMap != "dram" {
+		// Appended only off the default so dram fingerprints stay stable
+		// across the dftl introduction.
+		fmt.Fprintf(h, "|ftlmap=%s/%d", cfg.FTLMap, cfg.CMTEntries)
+	}
+	if cfg.MetaFlushEntries != 0 {
+		fmt.Fprintf(h, "|mf=%d", cfg.MetaFlushEntries)
+	}
 	fmt.Fprintf(h, "|dev=%d/%d/%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB,
 		cfg.CommandTimeout.Nanoseconds(), cfg.TimeoutBackoff.Nanoseconds())
 	fmt.Fprintf(h, "|rel=%v/%v/%v/%v/%v/%v/%d/%d", cfg.ReadRetryRate, cfg.RetryEscalation,
