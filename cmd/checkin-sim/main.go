@@ -24,6 +24,7 @@ import (
 	checkin "github.com/checkin-kv/checkin"
 	"github.com/checkin-kv/checkin/internal/check"
 	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/shard"
 )
 
 func main() {
@@ -51,6 +52,12 @@ func main() {
 		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
 		domains     = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
 		ftlmap      = flag.String("ftlmap", "dram", "FTL mapping-table model: dram | dftl (flash-resident translation pages)")
+		shards      = flag.Int("shards", 0, "run a sharded scale-out simulation across this many engine+SSD stacks (0 = single-stack mode)")
+		tenants     = flag.Int("tenants", 3, "sharded mode: tenant count")
+		arrival     = flag.String("arrival", "poisson:150000", "sharded mode: open-loop arrival spec, poisson:RATE[:flash] | diurnal:RATE:AMP:PERIOD[:flash]")
+		cksched     = flag.String("cksched", "sync", "sharded mode: cross-shard checkpoint scheduling policy, sync | staggered | global")
+		shardPar    = flag.String("shard-parallel", "auto", "sharded mode: run shard event domains on parallel goroutines, on | off | auto (output is byte-identical either way)")
+		admitRate   = flag.Float64("admit-rate", 0, "sharded mode: aggregate admitted ops/sec across per-tenant token buckets (0 = no admission control)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,11 @@ func main() {
 	}
 	if *crashpoints {
 		runCrashpoints(s, *seed, *site, *hit, profile.Name, *ftlmap)
+		return
+	}
+	if *shards > 0 {
+		runSharded(s, profile, *shards, *tenants, *arrival, *cksched, *shardPar,
+			*admitRate, *queries, *interval, *seed, *domains, *ftlmap)
 		return
 	}
 	var mix checkin.Mix
@@ -276,6 +288,47 @@ func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, er
 		fatal(fmt.Errorf("%d of %d crash-point runs failed", failures, len(results)))
 	}
 	fmt.Printf("crashpoints: all %d armed runs validated\n", len(results))
+}
+
+// runSharded drives the multi-device scale-out front end: N independent
+// engine+SSD stacks under open-loop multi-tenant traffic with a cross-shard
+// checkpoint scheduling policy. The rendered report is deterministic; only
+// the trailing wall-time line varies between machines.
+func runSharded(s checkin.Strategy, profile checkin.ErrorProfile, shards, tenants int,
+	arrival, cksched, parallel string, admitRate float64, ops int64,
+	interval time.Duration, seed int64, domains, ftlmap string) {
+	arr, err := shard.ParseArrival(arrival)
+	if err != nil {
+		fatal(err)
+	}
+	arr.Tenants = shard.DefaultTenants(tenants, 2000)
+	base := checkin.DefaultConfig()
+	base.Strategy = s
+	base.CheckpointInterval = interval
+	base.Seed = seed
+	base.Domains = domains
+	base.FTLMap = ftlmap
+	base = profile.Apply(base)
+	cfg := shard.Config{
+		Shards:          shards,
+		Base:            base,
+		Arrival:         arr,
+		TotalOps:        ops,
+		Sched:           cksched,
+		AdmitRatePerSec: admitRate,
+		Parallel:        parallel,
+		Seed:            seed,
+	}
+	db, err := shard.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := db.Run()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+	fmt.Printf("wall time %.2fs (load %.2fs)\n", rep.Wall.Seconds(), rep.LoadWall.Seconds())
 }
 
 func fatal(err error) {

@@ -1,0 +1,63 @@
+package checkin
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+)
+
+// TagHash builds configuration fingerprints from named tags. It exists
+// because the fingerprint format kept growing one hand-rolled Fprintf at a
+// time (`|ftlmap=`, `|mf=`, `|relseed=`, …) and nothing caught two fields
+// hashing under the same tag — which would silently merge distinct
+// configurations into one fingerprint, the worst possible failure for a
+// cache key. TagHash checks tag-name uniqueness at write time (duplicates
+// panic: a fingerprint construction bug, never a runtime condition) and
+// keeps conditional tags honest: TagIf reserves the name even when the tag
+// is excluded, so a later unconditional tag cannot collide with it.
+//
+// Layered front-ends (internal/shard) derive their own config fingerprints
+// from the same primitive, appending shard/tenant tags over an embedded
+// per-shard fingerprint.
+type TagHash struct {
+	h    hash.Hash64
+	seen map[string]bool
+}
+
+// NewTagHash starts a fingerprint in the given domain ("load", "run", …).
+// Distinct domains never collide even over identical tag sets.
+func NewTagHash(domain string) *TagHash {
+	t := &TagHash{h: fnv.New64a(), seen: make(map[string]bool)}
+	io.WriteString(t.h, domain)
+	return t
+}
+
+// Tag appends one named tag with a formatted value. The name must be unique
+// within this hash.
+func (t *TagHash) Tag(name, format string, args ...any) {
+	if t.seen[name] {
+		panic(fmt.Sprintf("checkin: duplicate fingerprint tag %q", name))
+	}
+	t.seen[name] = true
+	fmt.Fprintf(t.h, "|%s=", name)
+	fmt.Fprintf(t.h, format, args...)
+}
+
+// TagIf appends the tag only when include is true, but reserves the name
+// either way. Conditional tags keep pre-existing fingerprints stable across
+// a feature's introduction (the tag is absent at the feature's default), and
+// reserving the name means a later writer cannot reuse it unconditionally.
+func (t *TagHash) TagIf(include bool, name, format string, args ...any) {
+	if !include {
+		if t.seen[name] {
+			panic(fmt.Sprintf("checkin: duplicate fingerprint tag %q", name))
+		}
+		t.seen[name] = true
+		return
+	}
+	t.Tag(name, format, args...)
+}
+
+// Sum returns the 64-bit fingerprint of everything tagged so far.
+func (t *TagHash) Sum() uint64 { return t.h.Sum64() }

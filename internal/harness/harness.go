@@ -68,6 +68,16 @@ type Opts struct {
 	// Forwarded verbatim to checkin.Config.FTLMap; dftl shifts the reported
 	// numbers because mapping misses and writebacks cost flash operations.
 	FTLMap string
+	// Shards and Tenants size the sharded scale-out experiment (0 = defaults
+	// of 4 shards, 3 tenants). Only shardsched consults them.
+	Shards  int
+	Tenants int
+	// Arrival is the open-loop arrival spec for shardsched (see
+	// shard.ParseArrival; "" = "poisson:150000").
+	Arrival string
+	// CkSched restricts shardsched to one cross-shard checkpoint scheduling
+	// policy ("sync", "staggered" or "global"; "" = all three).
+	CkSched string
 }
 
 // snapshotsOn reports whether the template cache is enabled (the default).
@@ -203,6 +213,7 @@ func Experiments() []Experiment {
 		{"fig12", "Sensitivity to checkpoint interval (baseline vs Check-In)", Fig12},
 		{"fig13a", "Query throughput vs mapping unit size", Fig13a},
 		{"fig13b", "Space overhead of Check-In vs ISC-C (record-size patterns)", Fig13b},
+		{"shardsched", "Cross-shard checkpoint scheduling under multi-tenant open-loop traffic", ShardSched},
 		{"ablation", "Design-decision ablations beyond the paper's figures", Ablation},
 		{"compare", "Strict trace-replay comparison across all five configurations", Compare},
 		{"recovery", "Crash recovery and sudden-power-off recovery per configuration", Recovery},

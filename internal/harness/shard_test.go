@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardSchedTable: the experiment renders one row per strategy x policy
+// x tenant, honors the CkSched restriction, and reproduces byte-identically.
+func TestShardSchedTable(t *testing.T) {
+	o := Opts{Scale: 0.02, Seed: 1, Shards: 2, Tenants: 2, CkSched: "sync"}
+	tbl, err := ShardSched(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(shardStrategies) * 1 * o.Tenants; len(tbl.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), want)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "sync" {
+			t.Fatalf("CkSched restriction leaked: row policy %q", row[1])
+		}
+	}
+	var a, b strings.Builder
+	tbl.Render(&a)
+	tbl2, err := ShardSched(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2.Render(&b)
+	if a.String() != b.String() {
+		t.Fatal("shardsched table not reproducible across identical runs")
+	}
+}
+
+// TestShardSchedBadSpecs: invalid arrival and policy specs surface as
+// errors, not panics.
+func TestShardSchedBadSpecs(t *testing.T) {
+	if _, err := ShardSched(Opts{Scale: 0.02, Arrival: "bursty:1000"}); err == nil {
+		t.Error("bad arrival spec accepted")
+	}
+	if _, err := ShardSched(Opts{Scale: 0.02, CkSched: "roundrobin"}); err == nil {
+		t.Error("bad cksched accepted")
+	}
+}

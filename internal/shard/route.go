@@ -1,0 +1,76 @@
+package shard
+
+// Key routing: the sharded front-end must spread every tenant's namespace
+// across all shards (hash sharding), yet each shard's engine wants a dense
+// local key space [0, shardKeys) so all shards share one identical
+// configuration — and therefore one preconditioned load snapshot forked N
+// ways. Both at once come from a bijective pseudo-random permutation p over
+// the combined key space: shard = p(g) mod N, local = p(g) div N. The
+// permutation is a fixed-key Feistel network with cycle-walking, so routing
+// is structural (seed-independent), stateless and O(1) — no routing table
+// to build or keep consistent.
+
+type router struct {
+	shards    int
+	total     int64 // combined key-space size
+	shardKeys int64 // dense per-shard namespace size, ceil(total/shards)
+	halfBits  uint  // Feistel half width; domain is [0, 1<<(2*halfBits))
+	halfMask  uint64
+}
+
+func newRouter(total int64, shards int) router {
+	r := router{shards: shards, total: total, shardKeys: (total + int64(shards) - 1) / int64(shards)}
+	r.halfBits = 1
+	for int64(1)<<(2*r.halfBits) < total {
+		r.halfBits++
+	}
+	r.halfMask = 1<<r.halfBits - 1
+	return r
+}
+
+// place maps a global key to its (shard, local) coordinates.
+func (r router) place(g int64) (int, int64) {
+	p := r.permute(g)
+	return int(p % int64(r.shards)), p / int64(r.shards)
+}
+
+// permute is a bijection on [0, total): a 4-round Feistel permutation over
+// the enclosing power-of-four domain, cycle-walked back into range. Walking
+// preserves bijectivity (the permutation's restriction to any closed subset
+// of its orbits is a permutation of that subset) and terminates in O(1)
+// expected steps — the domain is at most 4x the range.
+func (r router) permute(g int64) int64 {
+	v := uint64(g)
+	for {
+		v = r.feistel(v)
+		if v < uint64(r.total) {
+			return int64(v)
+		}
+	}
+}
+
+// Fixed round keys (arbitrary odd 64-bit constants). Routing deliberately
+// does not take a seed: the shard layout is part of the system's structure,
+// like the FTL's channel striping, not part of a run's randomness.
+var feistelKeys = [4]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0xd6e8feb86659fd93,
+}
+
+func (r router) feistel(v uint64) uint64 {
+	l, rt := v>>r.halfBits, v&r.halfMask
+	for round := 0; round < 4; round++ {
+		l, rt = rt, l^(mix64(rt+feistelKeys[round])&r.halfMask)
+	}
+	return l<<r.halfBits | rt
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// mixing function used as the Feistel round function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/workload"
+)
+
+// ParseArrival resolves an arrival-process spec string into an
+// ArrivalConfig (tenants are supplied separately — see DefaultTenants).
+// Grammar:
+//
+//	poisson:RATE[:flash]
+//	diurnal:RATE:AMP:PERIOD[:flash]
+//
+// RATE is offered ops/sec, AMP the diurnal modulation depth in [0, 1),
+// PERIOD a duration ("2s", "500ms"). A trailing "flash" element adds the
+// canonical flash crowd: a 4x rate spike 80ms in, lasting 60ms, with 90%
+// of the spiking tenant's keys drawn from a 64-key hot set.
+func ParseArrival(spec string) (workload.ArrivalConfig, error) {
+	var cfg workload.ArrivalConfig
+	parts := strings.Split(spec, ":")
+	flash := false
+	if n := len(parts); n > 1 && parts[n-1] == "flash" {
+		flash = true
+		parts = parts[:n-1]
+	}
+	bad := func(why string) (workload.ArrivalConfig, error) {
+		return cfg, fmt.Errorf("shard: bad arrival spec %q: %s (want poisson:RATE[:flash] or diurnal:RATE:AMP:PERIOD[:flash])", spec, why)
+	}
+	if len(parts) < 2 {
+		return bad("missing rate")
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || rate <= 0 {
+		return bad("rate must be a positive number")
+	}
+	cfg.Process = parts[0]
+	cfg.RatePerSec = rate
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return bad("poisson takes only a rate")
+		}
+	case "diurnal":
+		if len(parts) != 4 {
+			return bad("diurnal takes rate, amplitude and period")
+		}
+		amp, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || amp < 0 || amp >= 1 {
+			return bad("amplitude must be in [0, 1)")
+		}
+		period, err := time.ParseDuration(parts[3])
+		if err != nil || period <= 0 {
+			return bad("period must be a positive duration")
+		}
+		cfg.DiurnalAmp = amp
+		cfg.DiurnalPeriod = sim.VTime(period.Nanoseconds())
+	default:
+		return bad("unknown process")
+	}
+	if flash {
+		cfg.Flash = &workload.FlashCrowd{
+			At:       80 * sim.Millisecond,
+			Duration: 60 * sim.Millisecond,
+			RateMult: 4,
+			Tenant:   0,
+			HotKeys:  64,
+			HotFrac:  0.9,
+		}
+	}
+	return cfg, nil
+}

@@ -138,6 +138,31 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// CountAbove returns the number of recorded samples whose bucket lies
+// entirely above threshold — the streaming SLO-violation counter (samples
+// over a per-tenant latency target). Buckets straddling the threshold count
+// as compliant, so the result is a lower bound with the histogram's ~1.6 %
+// bucket resolution; SLO targets are orders of magnitude coarser.
+func (h *Histogram) CountAbove(threshold uint64) uint64 {
+	if h.total == 0 || threshold >= h.max {
+		return 0
+	}
+	var above uint64
+	tMajor, _ := bucketOf(threshold)
+	for major := tMajor; major < 64; major++ {
+		if h.rowTotal[major] == 0 {
+			continue
+		}
+		for minor := 0; minor < subBuckets; minor++ {
+			if c := h.counts[major][minor]; c != 0 && bucketLow(major, minor) > threshold {
+				above += c
+			}
+		}
+	}
+	// Rows above tMajor were all counted; rows below it are all compliant.
+	return above
+}
+
 // Percentiles returns Percentile(p) for every p in ps in a single pass over
 // the buckets; ps must be non-decreasing. Each element is exactly what the
 // corresponding individual Percentile call would return — Summarize uses

@@ -81,6 +81,89 @@ func FuzzLatest(f *testing.F) {
 	})
 }
 
+// FuzzArrival drives the open-loop arrival generator over fuzzer-chosen
+// rates, diurnal shapes, tenant splits and flash crowds, asserting the
+// stream invariants: strictly increasing arrival times, tenants in range,
+// keys inside the owning tenant's namespace, positive sizes, clients inside
+// the modeled population, and seed-determinism (two generators over the
+// same inputs agree arrival for arrival).
+func FuzzArrival(f *testing.F) {
+	f.Add(int64(1), 100_000.0, 0.0, int64(0), 10, 1, int64(1000), false)
+	f.Add(int64(7), 250_000.0, 0.6, int64(2_000_000), 3, 2, int64(500), true)
+	f.Add(int64(-9), 1_000.0, 0.9, int64(500_000_000), 1, 5, int64(64), true)
+	f.Fuzz(func(t *testing.T, seed int64, rate, amp float64, periodNS int64,
+		w1, w2 int, keys int64, crowd bool) {
+		if !(rate >= 1 && rate <= 1e7) {
+			t.Skip("rate outside the sane envelope")
+		}
+		if !(amp >= 0 && amp < 1) {
+			t.Skip("amplitude outside [0, 1)")
+		}
+		if w1 < 1 {
+			w1 = 1 - w1%1000
+		}
+		if w2 < 1 {
+			w2 = 1 - w2%1000
+		}
+		if keys < 1 {
+			keys = 1 - keys%100_000
+		}
+		if keys > 100_000 {
+			keys = keys%100_000 + 1
+		}
+		cfg := ArrivalConfig{
+			Process:    "poisson",
+			RatePerSec: rate,
+			Clients:    1 << 20,
+			Tenants: []TenantSpec{
+				{Name: "a", Weight: w1, Keys: keys, Mix: WorkloadA, Zipfian: true},
+				{Name: "b", Weight: w2, Keys: keys * 2, Mix: WorkloadWO},
+			},
+		}
+		if periodNS > 0 {
+			cfg.Process = "diurnal"
+			cfg.DiurnalAmp = amp
+			cfg.DiurnalPeriod = sim.VTime(periodNS)
+		}
+		if crowd {
+			cfg.Flash = &FlashCrowd{At: sim.Millisecond, Duration: 10 * sim.Millisecond,
+				RateMult: 5, Tenant: 1, HotKeys: (keys + 1) / 2, HotFrac: 0.75}
+		}
+		g, err := NewOpenLoop(cfg, seed)
+		if err != nil {
+			t.Fatalf("NewOpenLoop rejected a valid config: %v", err)
+		}
+		g2, err := NewOpenLoop(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last sim.VTime
+		for i := 0; i < 300; i++ {
+			a := g.Next()
+			if b := g2.Next(); a != b {
+				t.Fatalf("arrival %d: same seed diverged (%+v vs %+v)", i, a, b)
+			}
+			if a.At <= last {
+				t.Fatalf("arrival %d: time %v not after %v", i, a.At, last)
+			}
+			last = a.At
+			if a.Tenant < 0 || int(a.Tenant) >= len(cfg.Tenants) {
+				t.Fatalf("arrival %d: tenant %d out of range", i, a.Tenant)
+			}
+			base := g.bases[a.Tenant]
+			if a.Op.Key < base || a.Op.Key >= base+cfg.Tenants[a.Tenant].Keys {
+				t.Fatalf("arrival %d: key %d outside tenant %d namespace", i, a.Op.Key, a.Tenant)
+			}
+			if a.Op.Size <= 0 {
+				t.Fatalf("arrival %d: size %d not positive", i, a.Op.Size)
+			}
+			if a.Client < 0 || a.Client >= 1<<20 {
+				t.Fatalf("arrival %d: client %d outside population", i, a.Client)
+			}
+		}
+	})
+}
+
 // FuzzMixValidate checks the mix validator and the generator built on top
 // of it agree: a mix Validate accepts must be non-negative and sum to
 // exactly 100, and every operation generated under it must carry a valid

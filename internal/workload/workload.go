@@ -283,24 +283,32 @@ func NewGenerator(dist Distribution, sizer Sizer, mix Mix, rng *sim.RNG) (*Gener
 func (g *Generator) Next() Op {
 	key := g.dist.Next(g.rng)
 	op := Op{Key: key, Size: g.sizer.SizeOf(key)}
-	r := g.rng.Intn(100)
-	switch {
-	case r < g.mix.ReadPct:
-		op.Kind = OpRead
-	case r < g.mix.ReadPct+g.mix.UpdatePct:
-		op.Kind = OpUpdate
-	case r < g.mix.ReadPct+g.mix.UpdatePct+g.mix.RMWPct:
-		op.Kind = OpReadModifyWrite
-	case r < g.mix.ReadPct+g.mix.UpdatePct+g.mix.RMWPct+g.mix.ScanPct:
-		op.Kind = OpScan
-		op.ScanLen = g.mix.ScanLen
-		if op.ScanLen <= 0 {
-			op.ScanLen = 50
-		}
-	default:
-		op.Kind = OpDelete
-	}
+	op.Kind, op.ScanLen = g.mix.Pick(g.rng)
 	return op
+}
+
+// Pick draws an operation kind (and scan length, for scans) from the mix
+// with one uniform draw — the kind-selection step shared by Generator and
+// the open-loop arrival layer. Draw order matters for reproducibility:
+// exactly one rng consumption per call.
+func (m Mix) Pick(rng *sim.RNG) (OpKind, int) {
+	r := rng.Intn(100)
+	switch {
+	case r < m.ReadPct:
+		return OpRead, 0
+	case r < m.ReadPct+m.UpdatePct:
+		return OpUpdate, 0
+	case r < m.ReadPct+m.UpdatePct+m.RMWPct:
+		return OpReadModifyWrite, 0
+	case r < m.ReadPct+m.UpdatePct+m.RMWPct+m.ScanPct:
+		n := m.ScanLen
+		if n <= 0 {
+			n = 50 // YCSB-E's average scan length
+		}
+		return OpScan, n
+	default:
+		return OpDelete, 0
+	}
 }
 
 // LoadOps returns the insert sequence that populates every key once, in key

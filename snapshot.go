@@ -140,36 +140,33 @@ func LoadFingerprint(cfg Config) (uint64, bool) {
 	if cfg.DeferGC != nil {
 		deferGC = *cfg.DeferGC
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "load|geo=%d/%d/%d/%d/%d/%d|tim=%d/%d/%d/%d|pe=%d",
+	h := NewTagHash("load")
+	h.Tag("geo", "%d/%d/%d/%d/%d/%d",
 		cfg.Channels, cfg.DiesPerChannel, cfg.PlanesPerDie, cfg.BlocksPerPlane,
-		cfg.PagesPerBlock, cfg.PageSizeBytes,
+		cfg.PagesPerBlock, cfg.PageSizeBytes)
+	h.Tag("tim", "%d/%d/%d/%d",
 		cfg.ReadLatency.Nanoseconds(), cfg.ProgramLatency.Nanoseconds(),
-		cfg.EraseLatency.Nanoseconds(), cfg.ChannelMBps, cfg.MaxPECycles)
-	fmt.Fprintf(h, "|ftl=%d/%v/%d/%s/%v/%d", cfg.MappingUnit, cfg.OverProvision,
+		cfg.EraseLatency.Nanoseconds(), cfg.ChannelMBps)
+	h.Tag("pe", "%d", cfg.MaxPECycles)
+	h.Tag("ftl", "%d/%v/%d/%s/%v/%d", cfg.MappingUnit, cfg.OverProvision,
 		cfg.MapCacheMB, cfg.GCPolicy, deferGC, cfg.WearDeltaThreshold)
-	if cfg.FTLMap != "dram" {
-		// Appended only off the default so dram fingerprints stay stable
-		// across the dftl introduction.
-		fmt.Fprintf(h, "|ftlmap=%s/%d", cfg.FTLMap, cfg.CMTEntries)
-	}
-	if cfg.MetaFlushEntries != 0 {
-		fmt.Fprintf(h, "|mf=%d", cfg.MetaFlushEntries)
-	}
-	fmt.Fprintf(h, "|dev=%d/%d/%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB,
+	// Appended only off the default so dram fingerprints stay stable across
+	// the dftl introduction.
+	h.TagIf(cfg.FTLMap != "dram", "ftlmap", "%s/%d", cfg.FTLMap, cfg.CMTEntries)
+	h.TagIf(cfg.MetaFlushEntries != 0, "mf", "%d", cfg.MetaFlushEntries)
+	h.Tag("dev", "%d/%d/%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB,
 		cfg.CommandTimeout.Nanoseconds(), cfg.TimeoutBackoff.Nanoseconds())
-	fmt.Fprintf(h, "|rel=%v/%v/%v/%v/%v/%v/%d/%d", cfg.ReadRetryRate, cfg.RetryEscalation,
+	h.Tag("rel", "%v/%v/%v/%v/%v/%v/%d/%d", cfg.ReadRetryRate, cfg.RetryEscalation,
 		cfg.UncorrectableRate, cfg.ProgramFailRate, cfg.EraseFailRate,
 		cfg.WearErrorFactor, cfg.MaxReadRetries, cfg.SpareBlocksPerDie)
-	if cfg.errorModelEnabled() {
-		// The fault stream is seeded from Seed, and Load's writes draw from
-		// it — with the model enabled, Seed shapes post-Load state (unlike
-		// the perfect-flash case, where Load consults no RNG).
-		fmt.Fprintf(h, "|relseed=%d", cfg.Seed)
-	}
-	fmt.Fprintf(h, "|db=%d/%d|remap=%v|sizer=%016x", cfg.Keys, cfg.JournalHalfMB,
-		cfg.Strategy.UsesRemap(), sizerFingerprint(cfg.Records, cfg.Keys))
-	return h.Sum64(), true
+	// The fault stream is seeded from Seed, and Load's writes draw from it —
+	// with the model enabled, Seed shapes post-Load state (unlike the
+	// perfect-flash case, where Load consults no RNG).
+	h.TagIf(cfg.errorModelEnabled(), "relseed", "%d", cfg.Seed)
+	h.Tag("db", "%d/%d", cfg.Keys, cfg.JournalHalfMB)
+	h.Tag("remap", "%v", cfg.Strategy.UsesRemap())
+	h.Tag("sizer", "%016x", sizerFingerprint(cfg.Records, cfg.Keys))
+	return h.Sum(), true
 }
 
 // Fingerprint hashes the complete resolved configuration: the load
@@ -183,12 +180,17 @@ func Fingerprint(cfg Config) (uint64, bool) {
 		return 0, false
 	}
 	cfg = withDefaults(cfg)
-	h := fnv.New64a()
-	fmt.Fprintf(h, "run|%016x|strat=%v|seed=%d|ival=%d|soft=%v|comp=%v|adapt=%d|hc=%d|lock=%v",
-		lfp, cfg.Strategy, cfg.Seed, cfg.CheckpointInterval.Nanoseconds(),
-		cfg.JournalSoftFrac, cfg.CompressRatio, cfg.AdaptiveLiveBudget,
-		cfg.HostCacheEntries, cfg.LockDuringCheckpoint)
-	return h.Sum64(), true
+	h := NewTagHash("run")
+	h.Tag("load", "%016x", lfp)
+	h.Tag("strat", "%v", cfg.Strategy)
+	h.Tag("seed", "%d", cfg.Seed)
+	h.Tag("ival", "%d", cfg.CheckpointInterval.Nanoseconds())
+	h.Tag("soft", "%v", cfg.JournalSoftFrac)
+	h.Tag("comp", "%v", cfg.CompressRatio)
+	h.Tag("adapt", "%d", cfg.AdaptiveLiveBudget)
+	h.Tag("hc", "%d", cfg.HostCacheEntries)
+	h.Tag("lock", "%v", cfg.LockDuringCheckpoint)
+	return h.Sum(), true
 }
 
 // sizerFingerprint identifies a record-size assignment by name plus a probe
