@@ -162,6 +162,19 @@ type Config struct {
 	// a metadata (dram mode) or translation-page (dftl mode) writeback.
 	// 0 keeps the FTL default of one translation page's worth of entries.
 	MetaFlushEntries int
+	// CMTFill toggles dftl page-fill on CMT miss: "" or "on" (default)
+	// populates every entry the fetched translation page covers; "off"
+	// inserts only the demanded entry (the pre-optimization behavior).
+	CMTFill string
+	// CMTCleanWindow bounds the dftl clean-first (CFLRU-style) eviction
+	// search in entries. 0 picks the default (32); 1 or negative restores
+	// strict LRU eviction.
+	CMTCleanWindow int
+	// RemapBatch toggles the dftl checkpoint-cut remap writeback batch:
+	// "" or "on" (default) defers translation writeback across the cut and
+	// settles it densest-page-first at the cut end; "off" interleaves
+	// threshold writebacks with the cut (the pre-optimization behavior).
+	RemapBatch string
 
 	// Controller.
 	QueueDepth  int
@@ -460,8 +473,23 @@ func Open(cfg Config) (*DB, error) {
 	case "dftl":
 		fcfg.FlashMap = true
 		fcfg.CMTEntries = cfg.CMTEntries
+		fcfg.CMTCleanWindow = cfg.CMTCleanWindow
 	default:
 		return nil, fmt.Errorf("checkin: unknown FTLMap %q (want dram or dftl)", cfg.FTLMap)
+	}
+	switch cfg.CMTFill {
+	case "", "on":
+	case "off":
+		fcfg.CMTNoFill = true
+	default:
+		return nil, fmt.Errorf("checkin: unknown CMTFill %q (want on or off)", cfg.CMTFill)
+	}
+	switch cfg.RemapBatch {
+	case "", "on":
+	case "off":
+		fcfg.CMTNoBatch = true
+	default:
+		return nil, fmt.Errorf("checkin: unknown RemapBatch %q (want on or off)", cfg.RemapBatch)
 	}
 	fcfg.MetaFlushEntries = cfg.MetaFlushEntries
 	var tracer *trace.Tracer

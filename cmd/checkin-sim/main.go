@@ -52,6 +52,9 @@ func main() {
 		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
 		domains     = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
 		ftlmap      = flag.String("ftlmap", "dram", "FTL mapping-table model: dram | dftl (flash-resident translation pages)")
+		cmtfill     = flag.String("cmtfill", "on", "dftl: on a CMT miss, fill every entry the fetched translation page covers: on | off (off = demanded entry only)")
+		cmtcw       = flag.Int("cmtcw", 0, "dftl: clean-first eviction search window in entries (0 = default 32, 1 = strict LRU)")
+		remapbatch  = flag.String("remapbatch", "on", "dftl: batch translation writeback across each checkpoint cut: on | off (off = interleave threshold writebacks with the cut)")
 		shards      = flag.Int("shards", 0, "run a sharded scale-out simulation across this many engine+SSD stacks (0 = single-stack mode)")
 		tenants     = flag.Int("tenants", 3, "sharded mode: tenant count")
 		arrival     = flag.String("arrival", "poisson:150000", "sharded mode: open-loop arrival spec, poisson:RATE[:flash] | diurnal:RATE:AMP:PERIOD[:flash]")
@@ -132,6 +135,9 @@ func main() {
 	cfg.LockDuringCheckpoint = *lock
 	cfg.Domains = *domains
 	cfg.FTLMap = *ftlmap
+	cfg.CMTFill = *cmtfill
+	cfg.CMTCleanWindow = *cmtcw
+	cfg.RemapBatch = *remapbatch
 	cfg = profile.Apply(cfg)
 	if *dumpTrace {
 		cfg.TraceCapacity = 10_000

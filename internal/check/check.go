@@ -98,6 +98,13 @@ type Options struct {
 	// matrix pins it small so capacity evictions actually happen at
 	// verification scale.
 	CMTEntries int
+	// CMTFill, CMTCleanWindow and RemapBatch forward the dftl CMT
+	// optimization knobs (""/zero = defaults on; "off"/1 restore the
+	// pre-optimization paths), so matrices can also crash-test the legacy
+	// code paths.
+	CMTFill        string
+	CMTCleanWindow int
+	RemapBatch     string
 }
 
 // DefaultOptions is sized so one (strategy, seed) matrix — census plus all
@@ -172,6 +179,9 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 	cfg.Injector = inj
 	cfg.FTLMap = opts.FTLMap
 	cfg.CMTEntries = opts.CMTEntries
+	cfg.CMTFill = opts.CMTFill
+	cfg.CMTCleanWindow = opts.CMTCleanWindow
+	cfg.RemapBatch = opts.RemapBatch
 	if opts.FTLMap == "dftl" {
 		// Tighter free-space margin so GC pressure stays high with the
 		// translation stream competing for blocks.

@@ -163,6 +163,10 @@ func (c *remapCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
 		b = 512
 	}
 	unit := int64(en.dev.FTL().UnitSize())
+	// The cut brackets tell the FTL's translation-metadata layer to defer
+	// dirty writeback across the remap burst and settle it once, densest
+	// page first, when the burst has drained (dftl mode; no-op otherwise).
+	en.dev.BeginCheckpointCut()
 	var prev *sim.Future
 	for i := 0; i < len(all); i += b {
 		chunk := all[i:min(i+b, len(all))]
@@ -198,6 +202,10 @@ func (c *remapCkpt) Run(p *sim.Proc, en *Engine, snap ckptSnapshot) {
 	if prev != nil {
 		p.Wait(prev)
 	}
+	// Every remap command has been serviced: settle the deferred translation
+	// writeback before the durability barrier below, so the flush covers the
+	// translation pages too.
+	en.dev.EndCheckpointCut()
 	// durability barrier: any read-merge-write residue must hit flash
 	p.Wait(en.dev.Flush(ssd.AreaCheckpoint))
 }

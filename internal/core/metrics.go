@@ -255,6 +255,17 @@ func (m *Metrics) Summary() string {
 		fmt.Fprintf(&b, "translation pages  %d flushed, %d read, %d gc-migrated\n",
 			flushes, m.EndFtl.TransReads-m.startFtl.TransReads,
 			m.EndFtl.TransMigrated-m.startFtl.TransMigrated)
+		// Origin attribution: translation reads split into host demand
+		// fetches, flush read-modify-writes and GC relocation reads; the
+		// trailing counters are device-internal CMT updates (GC rebinding,
+		// writeback-triggered dirtying) — the hit ratio above counts only
+		// the host lookup path.
+		fmt.Fprintf(&b, "trans read origin  %d host, %d flush-rmw, %d gc; internal cmt %d hits, %d misses\n",
+			m.EndFtl.TransReadsHost-m.startFtl.TransReadsHost,
+			m.EndFtl.TransReadsRMW-m.startFtl.TransReadsRMW,
+			m.EndFtl.TransReadsGC-m.startFtl.TransReadsGC,
+			m.EndFtl.CMTHitsGC-m.startFtl.CMTHitsGC,
+			m.EndFtl.CMTMissesGC-m.startFtl.CMTMissesGC)
 	}
 	return b.String()
 }

@@ -39,6 +39,27 @@ package ftl
 // device-internal work accumulate and settle at the next host-path update.
 // The CMT may transiently exceed its bound inside such windows — it is
 // re-enforced at every host-path boundary.
+//
+// On top of the basic layer sit four optimizations a real controller ships
+// (DESIGN.md §16), each with an ablation knob (Config.CMTNoFill,
+// Config.CMTCleanWindow, Config.CMTNoBatch — knobs off reproduce the basic
+// layer's behavior bit for bit):
+//
+//   - Page-fill on miss: a miss already charges a whole-page NAND read;
+//     fillTP inserts every entry the fetched page covers (clean, bulk LRU
+//     insert) instead of just the demanded lun, so one fetch yields up to
+//     entriesPerTP future hits.
+//   - Clean-first eviction (CFLRU): fmEnforceCap searches a bounded clean
+//     window from the LRU tail before flushing a dirty victim's whole
+//     translation page, so capacity evictions stop amplifying into flushes.
+//   - Batched remap writeback: BeginCheckpointCut/EndCheckpointCut bracket
+//     the checkpoint's remap burst; threshold flushes and cap enforcement
+//     are deferred across the cut and settle once at its end, coalescing the
+//     remap churn into full-density page flushes instead of interleaving
+//     partial ones with the cut.
+//   - Incremental hottest-TP index: tpIndex (tpindex.go) replaces
+//     fmHottestTP's O(numTPs) scan with an O(1)-maintenance bucketed
+//     dirty-count index, rebuilt on Restore.
 
 import (
 	"fmt"
@@ -78,6 +99,37 @@ type flashMap struct {
 	// dirtyByTP[tvpn] counts dirty cached entries per translation page —
 	// the batched-writeback selector picks the page with the most.
 	dirtyByTP []int32
+	// tpx indexes dirtyByTP incrementally so the flush selector never scans
+	// all translation pages (rebuilt from dirtyByTP on Restore).
+	tpx *tpIndex
+
+	// fill arms page-fill on miss (!Config.CMTNoFill).
+	fill bool
+	// cleanWindow is the resolved CFLRU clean-first search depth in entries:
+	// how many LRU-tail entries fmEnforceCap examines for a clean victim
+	// before flushing a dirty one. 1 = strict LRU (the basic layer).
+	cleanWindow int
+	// legacy is set when every remap-aware knob is at its basic-layer
+	// setting (fill off, window 1, batch off): those runs must reproduce
+	// the basic layer bit-for-bit, including its defer-to-next-update cap
+	// semantics, so the post-GC re-enforcement (fmAfterGC) stays off.
+	legacy bool
+
+	// tpEpoch/cmdEpoch/cmdDepth implement the per-command translation-fetch
+	// seen-set for the page-fill path: a tvpn stamped with the current command
+	// epoch has already been charged this host command (the fetched page sits
+	// in the controller's transfer buffer for the command's duration), even
+	// when cap enforcement between an operation's two ranges — Remap resolves
+	// source then destination — evicts the filled entries in between.
+	// fmEnterCmd/fmExitCmd bracket host operations; a bare fmAccessRange call
+	// (tests) opens an epoch of its own.
+	tpEpoch  []uint64
+	cmdEpoch uint64
+	cmdDepth int
+
+	// batch marks the checkpoint-cut remap window (BeginCheckpointCut):
+	// threshold flushes and cap enforcement are deferred until the cut ends.
+	batch bool
 
 	// flushing guards the writeback path against re-entering itself when a
 	// translation program triggers GC whose rebinding dirties more entries.
@@ -188,12 +240,29 @@ func (f *FTL) initFlashMap() error {
 		fm.tpOwner[i] = -1
 	}
 	fm.dirtyByTP = make([]int32, fm.numTPs)
+	fm.tpx = newTPIndex(fm.numTPs, fm.entriesPerTP)
+	fm.tpEpoch = make([]uint64, fm.numTPs)
+	fm.fill = !f.cfg.CMTNoFill
+	fm.cleanWindow = f.cfg.CMTCleanWindow
+	switch {
+	case fm.cleanWindow == 0:
+		fm.cleanWindow = defaultCleanWindow
+	case fm.cleanWindow < 1:
+		fm.cleanWindow = 1 // strict LRU: examine the tail only
+	}
+	fm.legacy = f.cfg.CMTNoFill && fm.cleanWindow == 1 && f.cfg.CMTNoBatch
 	f.rlog.tp = make([]int64, totalPages)
 	for i := range f.rlog.tp {
 		f.rlog.tp[i] = -1
 	}
 	return nil
 }
+
+// defaultCleanWindow is the CFLRU clean-first search depth when
+// Config.CMTCleanWindow is zero: deep enough that a dirty LRU tail almost
+// always yields a nearby clean victim, shallow enough that hot (recent)
+// entries are never evicted out from under the workload.
+const defaultCleanWindow = 32
 
 // FlashMapEnabled reports whether the DFTL layer is active.
 func (f *FTL) FlashMapEnabled() bool { return f.fm.enabled }
@@ -210,28 +279,119 @@ func (f *FTL) CMTLen() int { return f.fm.cachedCount }
 // fmWrite records that lun's mapping changed: the entry becomes CMT-resident
 // and dirty (a write miss needs no fetch — the flush's read-modify-write
 // merges unchanged entries from the old translation page). At top level it
-// then runs the batched dirty writeback and re-enforces the CMT bound.
+// then runs the batched dirty writeback and re-enforces the CMT bound; both
+// are deferred across a checkpoint-cut remap batch and settle at its end.
+//
+// Only device-internal updates (GC rebinding, writeback-triggered dirtying)
+// count toward the CMTHitsGC/CMTMissesGC origin split: the host update path
+// always resolved its range through fmAccessRange first, where the lookup
+// was already attributed to CMTHits/CMTMisses.
 func (f *FTL) fmWrite(lun int64) {
 	fm := &f.fm
+	internal := fm.flushing || f.gcDepth > 0
 	if fm.isCached(lun) {
 		fm.touch(lun)
+		if internal {
+			f.stats.CMTHitsGC++
+		}
 	} else {
 		fm.insert(lun)
+		if internal {
+			f.stats.CMTMissesGC++
+		}
 	}
 	if !fm.isDirty(lun) {
 		fm.dirty[lun>>6] |= 1 << (uint64(lun) & 63)
 		fm.dirtyCount++
-		fm.dirtyByTP[fm.tvpnOf(lun)]++
+		tvpn := fm.tvpnOf(lun)
+		fm.dirtyByTP[tvpn]++
+		fm.tpx.markDirty(int32(tvpn))
 	}
+	if internal || fm.batch {
+		return // settled at the next top-level mapping update / the cut end
+	}
+	if fm.dirtyCount >= f.metaFlushAt {
+		f.fmSettleDirty(f.metaFlushAt, inject.SiteTransFlush)
+	}
+	if fm.cachedCount > fm.cap {
+		f.fmEnforceCap()
+	}
+}
+
+// fmSettleDirty runs the batched dirty writeback until the backlog drops
+// below floor entries, densest translation page first. Caller must be at top
+// level (not flushing, gcDepth == 0).
+func (f *FTL) fmSettleDirty(floor int, site inject.Site) {
+	fm := &f.fm
+	fm.flushing = true
+	for fm.dirtyCount >= floor {
+		tvpn := f.fmHottestTP()
+		if tvpn < 0 {
+			break
+		}
+		f.flushTP(tvpn, site)
+	}
+	fm.flushing = false
+}
+
+// fmEnterCmd/fmExitCmd bracket one host command for the page-fill seen-set:
+// translation-fetch charges dedup against the command epoch, and nested
+// operations (CopyCached's fallback host write) share the outer command's
+// epoch — a real controller holds fetched pages in its transfer buffer for
+// the whole command.
+func (f *FTL) fmEnterCmd() {
+	fm := &f.fm
+	if !fm.enabled {
+		return
+	}
+	fm.cmdDepth++
+	if fm.cmdDepth == 1 {
+		fm.cmdEpoch++
+	}
+}
+
+func (f *FTL) fmExitCmd() {
+	if f.fm.enabled {
+		f.fm.cmdDepth--
+	}
+}
+
+// BeginCheckpointCut enters the remap-batch window: until EndCheckpointCut,
+// mapping updates accumulate dirty entries without triggering threshold
+// flushes or cap enforcement, so the checkpoint cut's remap churn coalesces
+// into full-density page flushes at the cut end instead of interleaving
+// partial ones. No-op outside dftl mode or with Config.CMTNoBatch.
+func (f *FTL) BeginCheckpointCut() {
+	fm := &f.fm
+	if !fm.enabled || f.cfg.CMTNoBatch {
+		return
+	}
+	if fm.batch {
+		panic("ftl: nested checkpoint-cut remap batch")
+	}
+	fm.batch = true
+}
+
+// EndCheckpointCut settles the remap-batch window: every dirty mapping entry
+// writes back, densest page first, then the CMT bound is re-enforced. The
+// settle is complete (not just down to the threshold) because the cut's
+// mapping updates are checkpoint payload — callers order the settle before
+// the checkpoint's durability barrier, making the remapped translation state
+// durable with the checkpoint itself. Remap dirties long contiguous runs, so
+// the deferred flushes run at full page density instead of the partial ones
+// interleaved threshold writeback would have issued. Always safe to call
+// (no-op when no batch is open).
+func (f *FTL) EndCheckpointCut() {
+	fm := &f.fm
+	if !fm.enabled || !fm.batch {
+		return
+	}
+	fm.batch = false
 	if fm.flushing || f.gcDepth > 0 {
 		return // settled at the next top-level mapping update
 	}
-	if fm.dirtyCount >= f.metaFlushAt {
-		fm.flushing = true
-		for fm.dirtyCount >= f.metaFlushAt {
-			f.flushTP(f.fmHottestTP(), inject.SiteTransFlush)
-		}
-		fm.flushing = false
+	if fm.dirtyCount > 0 {
+		f.fmSettleDirty(1, inject.SiteTransFlush)
 	}
 	if fm.cachedCount > fm.cap {
 		f.fmEnforceCap()
@@ -241,12 +401,17 @@ func (f *FTL) fmWrite(lun int64) {
 // fmAccessRange resolves the mapping entries for luns [first, last] through
 // the CMT on the host lookup path. Each miss inserts the entry and, when the
 // backing translation page lives on flash, charges a real page read —
-// deduplicated per tvpn within the range (consecutive luns share pages; a
-// real controller holds the fetched page in its transfer buffer across the
-// command). With wait set the reads' futures append to futs so the host
-// operation completes only after its translation fetches.
+// deduplicated per tvpn within the host command (consecutive luns share
+// pages; a real controller holds the fetched page in its transfer buffer
+// across the command). With page-fill on, the charged fetch also populates
+// every uncached entry the page covers. With wait set the reads' futures
+// append to futs so the host operation completes only after its translation
+// fetches.
 func (f *FTL) fmAccessRange(first, last int64, wait bool, futs []*sim.Future) []*sim.Future {
 	fm := &f.fm
+	if fm.fill && fm.cmdDepth == 0 {
+		fm.cmdEpoch++ // a bare range (tests) is a command of its own
+	}
 	lastCharged := -1
 	for lun := first; lun <= last; lun++ {
 		if fm.isCached(lun) {
@@ -256,58 +421,131 @@ func (f *FTL) fmAccessRange(first, last int64, wait bool, futs []*sim.Future) []
 		}
 		f.stats.CMTMisses++
 		tvpn := fm.tvpnOf(lun)
-		if pid := fm.gtd[tvpn]; pid >= 0 && tvpn != lastCharged {
-			lastCharged = tvpn
-			f.stats.TransReads++
-			f.stats.ReadsByTag[TagMeta]++
-			if fut := f.readFlash(f.pidBlock(pid), f.pidPage(pid), f.array.Geometry().PageSize, wait); fut != nil {
-				futs = append(futs, fut)
+		pid := fm.gtd[tvpn]
+		if pid >= 0 {
+			// Charge dedup: the basic layer tracks only the previous tvpn of
+			// this call — enough when misses walk pages monotonically. The
+			// fill path breaks that assumption (an operation's second range
+			// can revisit a page cap enforcement just evicted), so it stamps
+			// each fetched tvpn with the command epoch instead.
+			charged := false
+			if fm.fill {
+				charged = fm.tpEpoch[tvpn] == fm.cmdEpoch
+				fm.tpEpoch[tvpn] = fm.cmdEpoch
+			} else {
+				charged = tvpn == lastCharged
+				lastCharged = tvpn
+			}
+			if !charged {
+				f.stats.TransReads++
+				f.stats.TransReadsHost++
+				f.stats.ReadsByTag[TagMeta]++
+				if fut := f.readFlash(f.pidBlock(pid), f.pidPage(pid), f.array.Geometry().PageSize, wait); fut != nil {
+					futs = append(futs, fut)
+				}
 			}
 		}
 		if fm.oracle && fm.stored[lun] != f.l2p[lun] {
 			panic(fmt.Sprintf("ftl: flash map diverged at lun %d: flash-resident entry %d, live map %d (uncached entries must match their flash copy)",
 				lun, fm.stored[lun], f.l2p[lun]))
 		}
+		if fm.fill && pid >= 0 {
+			f.fillTP(tvpn, lun)
+		}
 		fm.insert(lun)
 	}
-	if fm.cachedCount > fm.cap && f.gcDepth == 0 && !fm.flushing {
+	if fm.cachedCount > fm.cap && f.gcDepth == 0 && !fm.flushing && !fm.batch {
 		f.fmEnforceCap()
 	}
 	return futs
 }
 
-// fmEnforceCap evicts LRU entries until the CMT is back within its bound. A
-// dirty victim first writes its whole translation page back (batched
-// eviction: one flush persists every dirty entry the page covers), then
-// leaves clean. Runs only at top level.
+// fillTP bulk-inserts every uncached entry of translation page tvpn except
+// the demanded lun (the caller inserts it last, leaving it most-recent). The
+// page was just fetched whole — a real controller decodes all of it for
+// free — so the fills are clean CMT inserts: their flash copy IS the live
+// map by the coherence invariant (an uncached entry is never dirty).
+func (f *FTL) fillTP(tvpn int, demanded int64) {
+	fm := &f.fm
+	first := int64(tvpn) * int64(fm.entriesPerTP)
+	last := first + int64(fm.entriesPerTP) - 1
+	if last >= f.totalUnits {
+		last = f.totalUnits - 1
+	}
+	for lun := first; lun <= last; lun++ {
+		if lun != demanded && !fm.isCached(lun) {
+			fm.insert(lun)
+		}
+	}
+}
+
+// fmEnforceCap evicts entries until the CMT is back within its bound,
+// preferring clean victims (CFLRU): when the strict LRU tail is dirty, a
+// bounded window of tail-most entries is searched for a clean one first —
+// evicting clean costs nothing, while a dirty victim forces a whole
+// translation-page writeback. Only when the entire window is dirty does the
+// tail's page flush (batched eviction: one flush persists every dirty entry
+// the page covers and usually cleans much of the window with it). With
+// cleanWindow == 1 this is exactly the basic layer's strict-LRU eviction.
+// Runs only at top level.
 func (f *FTL) fmEnforceCap() {
 	fm := &f.fm
 	for fm.cachedCount > fm.cap {
-		lun := int64(fm.lruTail)
-		if fm.isDirty(lun) {
+		victim := fm.lruTail
+		if fm.isDirty(int64(victim)) {
+			victim = -1
+			for l, scanned := fm.lruPrev[fm.lruTail], 1; l >= 0 && scanned < fm.cleanWindow; l, scanned = fm.lruPrev[l], scanned+1 {
+				if !fm.isDirty(int64(l)) {
+					victim = l
+					break
+				}
+			}
+		}
+		if victim < 0 {
 			fm.flushing = true
-			f.flushTP(fm.tvpnOf(lun), inject.SiteTransEvict)
+			f.flushTP(fm.tvpnOf(int64(fm.lruTail)), inject.SiteTransEvict)
 			fm.flushing = false
 			// The flush (or GC it triggered) may have reordered the LRU;
 			// re-evaluate from the tail rather than assuming the victim.
 			continue
 		}
-		fm.remove(lun)
+		fm.remove(int64(victim))
 		f.stats.CMTEvictions++
 	}
 }
 
-// fmHottestTP returns the translation page with the most dirty entries
-// (lowest tvpn wins ties), or -1 when nothing is dirty.
-func (f *FTL) fmHottestTP() int {
+// fmAfterGC trims the CMT back toward its bound after a collection pass
+// returns to top level. Migrations insert mapping entries with enforcement
+// deferred, and when the GC was triggered by a path with no later top-level
+// mapping update (Sync programming buffered pages, Trim, background
+// collection) the overshoot would otherwise persist until the next host
+// operation — with page-fill keeping the table pinned at capacity, that is
+// the steady state, not a corner. Only clean entries are evicted here: the
+// post-GC instant is exactly when free space may sit at its emergency
+// floor, so this path must never program a translation page (a dirty
+// overshoot waits for the next top-level update, which settles through the
+// normal flush machinery). Legacy-knob runs keep the basic layer's
+// defer-to-next-update semantics bit-for-bit and skip this.
+func (f *FTL) fmAfterGC() {
 	fm := &f.fm
-	best, bestN := -1, int32(0)
-	for t, n := range fm.dirtyByTP {
-		if n > bestN {
-			best, bestN = t, n
-		}
+	if !fm.enabled || fm.legacy || fm.flushing || fm.batch || f.gcDepth > 0 {
+		return
 	}
-	return best
+	for l := fm.lruTail; fm.cachedCount > fm.cap && l >= 0; {
+		prev := fm.lruPrev[l]
+		if !fm.isDirty(int64(l)) {
+			fm.remove(int64(l))
+			f.stats.CMTEvictions++
+		}
+		l = prev
+	}
+}
+
+// fmHottestTP returns the translation page with the most dirty entries
+// (lowest tvpn wins ties), or -1 when nothing is dirty. Backed by the
+// incremental tpIndex — no O(numTPs) scan.
+func (f *FTL) fmHottestTP() int {
+	return f.fm.tpx.hottest(f.fm.dirtyByTP)
 }
 
 // flushTP writes back every dirty CMT entry covered by translation page
@@ -323,6 +561,7 @@ func (f *FTL) flushTP(tvpn int, site inject.Site) {
 	if pid := fm.gtd[tvpn]; pid >= 0 {
 		// RMW read: the new page carries the old page's unchanged entries.
 		f.stats.TransReads++
+		f.stats.TransReadsRMW++
 		f.stats.ReadsByTag[TagMeta]++
 		f.readFlash(f.pidBlock(pid), f.pidPage(pid), f.array.Geometry().PageSize, false)
 	}
@@ -344,6 +583,7 @@ func (f *FTL) flushTP(tvpn int, site inject.Site) {
 			fm.stored[lun] = f.l2p[lun]
 		}
 	}
+	fm.tpx.markDirty(int32(tvpn))
 	f.stats.TransFlushes++
 	f.cfg.Injector.Hit(site)
 }
@@ -418,6 +658,7 @@ func (f *FTL) fmMigrateTrans(b int) {
 		}
 		f.stats.ReadsByTag[TagGC]++
 		f.stats.TransReads++
+		f.stats.TransReadsGC++
 		f.readFlash(b, p, pageSize, false)
 		f.fmInvalidateTP(int(tvpn))
 		f.appendTransPage(int(tvpn), TagGC)
@@ -496,6 +737,7 @@ func (f *FTL) fmCheckInvariants(report func(format string, args ...any)) {
 			report("tvpn %d dirty counter %d but %d dirty entries", t, fm.dirtyByTP[t], dirtyByTP[t])
 		}
 	}
+	fm.tpx.check(fm.dirtyByTP, report)
 
 	// Directory bijection + recovery-record mirror + block placement.
 	for tvpn, pid := range fm.gtd {

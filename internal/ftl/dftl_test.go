@@ -31,7 +31,7 @@ func dftlCfg() Config {
 	return c
 }
 
-func newDFTL(t *testing.T, cfg Config) (*sim.Engine, *nand.Array, *FTL) {
+func newDFTL(t testing.TB, cfg Config) (*sim.Engine, *nand.Array, *FTL) {
 	t.Helper()
 	e := sim.NewEngine()
 	arr, err := nand.New(e, dftlGeo(), fastTim())
@@ -156,23 +156,31 @@ func TestTransGCCrashConsistency(t *testing.T) {
 		f.Sync(StreamData, TagHostData)
 		e.Run()
 
-		// Pick a victim holding a live translation page, skipping any open
-		// frontier block (the collector never chooses one either).
-		open := map[int]bool{}
-		for s := 0; s < int(numStreams); s++ {
-			for _, fr := range f.fronts[s] {
-				if fr.block >= 0 {
-					open[fr.block] = true
+		// Page-fill and clean-first eviction make organic eviction flushes
+		// rare at this scale, so the live translation pages tend to sit on
+		// the open translation frontier. Close a block over a live page
+		// deliberately: rotating forced flushes append translation pages
+		// (each supersedes only its own tvpn's previous copy) until some
+		// closed block still owns a live page.
+		closedLive := func() int {
+			for pid, tvpn := range f.fm.tpOwner {
+				if tvpn >= 0 && f.state[f.pidBlock(int64(pid))] == blockClosed {
+					return f.pidBlock(int64(pid))
 				}
 			}
+			return -1
 		}
-		victim := -1
-		for pid, tvpn := range f.fm.tpOwner {
-			if tvpn >= 0 && !open[f.pidBlock(int64(pid))] {
-				victim = f.pidBlock(int64(pid))
-				break
-			}
+		epp := int64(f.fm.entriesPerTP)
+		for i := 0; closedLive() < 0 && i < 200; i++ {
+			tvpn := i % f.fm.numTPs
+			f.Write(int64(tvpn)*epp*unit, unit, TagHostData, StreamData)
+			f.fm.flushing = true
+			f.flushTP(tvpn, inject.SiteTransFlush)
+			f.fm.flushing = false
+			f.Sync(StreamData, TagHostData)
+			e.Run()
 		}
+		victim := closedLive()
 		if victim < 0 {
 			t.Fatalf("seed=%d: no closed block holds a live translation page", seed)
 		}
@@ -214,21 +222,33 @@ func TestTransGCCrashConsistency(t *testing.T) {
 }
 
 // FuzzCMTEviction lets the fuzzer pick the CMT bound, the writeback batch
-// size and the workload shape, then replays the oracle workload with the
-// mapping oracle armed: any divergence between the flash-resident table and
-// the live map panics at the faulting access, any structural break fails
+// size, the remap-aware knobs (page-fill, clean-window depth, checkpoint-cut
+// batching) and the workload shape, then replays the oracle workload with
+// the mapping oracle armed: any divergence between the flash-resident table
+// and the live map panics at the faulting access, any structural break fails
 // CheckInvariants, and the SPOR rebuild must stay lossless. Sub-floor CMT
 // bounds exercise the clamp; batch size 1 forces a writeback per dirtied
-// translation page.
+// translation page; the knob axes cover the legacy configuration (fill off,
+// window 1, batch off) through deep clean-window search.
 func FuzzCMTEviction(f *testing.F) {
-	f.Add(uint64(1), uint16(1), uint16(96), uint16(1024))
-	f.Add(uint64(2), uint16(700), uint16(8), uint16(512))
-	f.Add(uint64(3), uint16(520), uint16(200), uint16(1500))
-	f.Add(uint64(0x9e3779b9), uint16(513), uint16(1), uint16(768))
-	f.Fuzz(func(t *testing.T, seed uint64, capEntries, flushAt, rounds uint16) {
+	f.Add(uint64(1), uint16(1), uint16(96), uint16(1024), false, uint8(0), false)
+	f.Add(uint64(2), uint16(700), uint16(8), uint16(512), true, uint8(1), true)
+	f.Add(uint64(3), uint16(520), uint16(200), uint16(1500), false, uint8(4), true)
+	f.Add(uint64(0x9e3779b9), uint16(513), uint16(1), uint16(768), true, uint8(64), false)
+	// Fuzzer-found: fill-mode CMT overshoot surviving a Sync-triggered GC
+	// with no later top-level mapping update (fixed by fmAfterGC).
+	f.Add(uint64(262), uint16(196), uint16(429), uint16(1400), false, uint8(41), false)
+	// Fuzzer-found: SPOR replay picked a stale GC copy over a racing host
+	// write — the migration minted a fresh OOB sequence for data appended
+	// but not yet bound (fixed by recoveryLog.preserveCopy).
+	f.Add(uint64(299), uint16(123), uint16(355), uint16(1410), true, uint8(34), false)
+	f.Fuzz(func(t *testing.T, seed uint64, capEntries, flushAt, rounds uint16, noFill bool, window uint8, noBatch bool) {
 		cfg := dftlCfg()
 		cfg.CMTEntries = int(capEntries) // clamps up to the 512-entry floor
 		cfg.MetaFlushEntries = int(flushAt)%512 + 1
+		cfg.CMTNoFill = noFill
+		cfg.CMTCleanWindow = int(window) // 0 = default, 1 = strict LRU
+		cfg.CMTNoBatch = noBatch
 		e, _, ftl := newDFTL(t, cfg)
 		ftl.EnableMapOracle()
 

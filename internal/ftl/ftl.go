@@ -183,6 +183,24 @@ type Config struct {
 	// CMTEntries bounds the cached mapping table under FlashMap, in
 	// entries. 0 derives the bound from MapCacheBytes (8 bytes per entry).
 	CMTEntries int
+
+	// CMTNoFill disables page-fill on CMT miss (ablation): a miss inserts
+	// only the demanded entry instead of every entry the fetched
+	// translation page covers. Only meaningful under FlashMap.
+	CMTNoFill bool
+
+	// CMTCleanWindow bounds the clean-first (CFLRU-style) eviction search:
+	// how many LRU-tail entries are examined for a clean victim before a
+	// dirty one forces a translation-page writeback. 0 picks the default
+	// (32); 1 or negative restores strict LRU eviction (ablation). Only
+	// meaningful under FlashMap.
+	CMTCleanWindow int
+
+	// CMTNoBatch disables the checkpoint-cut remap writeback batch
+	// (ablation): BeginCheckpointCut/EndCheckpointCut become no-ops and
+	// threshold flushes interleave with the cut's remap stream. Only
+	// meaningful under FlashMap.
+	CMTNoBatch bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -270,6 +288,19 @@ type Stats struct {
 	TransFlushes  uint64
 	TransReads    uint64
 	TransMigrated uint64
+
+	// Origin split of the DFTL traffic. CMTHits/CMTMisses above count the
+	// host lookup path (fmAccessRange); CMTHitsGC/CMTMissesGC count
+	// device-internal mapping updates — GC rebinding and dirtying triggered
+	// inside a writeback. TransReads above is the total;
+	// TransReadsHost + TransReadsRMW + TransReadsGC == TransReads, splitting
+	// it into host demand fetches, flush read-modify-writes, and GC
+	// relocation reads.
+	CMTHitsGC      uint64
+	CMTMissesGC    uint64
+	TransReadsHost uint64
+	TransReadsRMW  uint64
+	TransReadsGC   uint64
 }
 
 // RedundantWrites returns the paper's "duplicate writes" metric: programs
@@ -985,6 +1016,7 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 	delay := f.mapLookupCost(lookups)
 
 	futs := f.writeFuts[:0]
+	f.fmEnterCmd()
 	if f.fm.enabled {
 		// The old mappings must be resolved before they are invalidated:
 		// misses fetch translation pages the write then waits on.
@@ -1006,6 +1038,7 @@ func (f *FTL) Write(off, n int64, tag Tag, s Stream) *sim.Future {
 	}
 	all := sim.AfterAll(f.eng, futs)
 	f.writeFuts = futs[:0]
+	f.fmExitCmd()
 	f.DrainFaults()
 	return delayedFuture(f.eng, all, delay)
 }
@@ -1032,6 +1065,7 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 		f.pageOrder = make([]int64, 0, lookups)
 	}
 	futs := f.readFuts[:0]
+	f.fmEnterCmd()
 	if f.fm.enabled {
 		// Resolve translations first: a miss-triggered writeback can run GC,
 		// which moves slots — physical pages are captured only afterwards.
@@ -1061,6 +1095,7 @@ func (f *FTL) Read(off, n int64) *sim.Future {
 	f.pageOrder = order[:0]
 	all := sim.AfterAll(f.eng, futs)
 	f.readFuts = futs[:0]
+	f.fmExitCmd()
 	f.DrainFaults()
 	return delayedFuture(f.eng, all, delay)
 }
@@ -1134,6 +1169,7 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 	var res RemapResult
 	futs := f.remapFuts[:0]
 	delay := f.mapLookupCost(int(2 * (n/int64(f.unit) + 1)))
+	f.fmEnterCmd()
 	if f.fm.enabled && n > 0 {
 		// Source and destination entries both resolve up front — the remap
 		// reads the source mapping and invalidates the old destination one.
@@ -1186,6 +1222,7 @@ func (f *FTL) RemapCached(src, dst, n int64, srcInBuffer bool) (RemapResult, *si
 	// data stream once per checkpoint command for durability.
 	all := sim.AfterAll(f.eng, futs)
 	f.remapFuts = futs[:0]
+	f.fmExitCmd()
 	return res, delayedFuture(f.eng, all, delay)
 }
 
@@ -1218,6 +1255,7 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 		f.copyFuts = make([]*sim.Future, 0, spanCap)
 	}
 	futs := f.copyFuts[:0]
+	f.fmEnterCmd()
 	if f.fm.enabled && !srcInBuffer {
 		// Flash-sourced copies resolve the source mapping first (a buffered
 		// source reads through the DRAM cache and needs no translation);
@@ -1243,6 +1281,7 @@ func (f *FTL) CopyCached(src, dst, n int64, tag Tag, srcInBuffer bool) *sim.Futu
 	futs = append(futs, f.Write(dst, n, tag, StreamData))
 	all := sim.AfterAll(f.eng, futs)
 	f.copyFuts = futs[:0]
+	f.fmExitCmd()
 	return delayedFuture(f.eng, all, delay)
 }
 
@@ -1279,6 +1318,7 @@ func (f *FTL) maybeForegroundGC() {
 		}
 	}
 	f.gcDepth--
+	f.fmAfterGC()
 }
 
 // BackgroundGC reclaims up to maxVictims blocks if reclaimable space exists;
@@ -1299,7 +1339,7 @@ func (f *FTL) BackgroundGCForce(maxVictims int) int {
 
 func (f *FTL) backgroundCollect(maxVictims, maxValid int) int {
 	f.gcDepth++
-	defer func() { f.gcDepth-- }()
+	defer func() { f.gcDepth--; f.fmAfterGC() }()
 	collected := 0
 	for collected < maxVictims {
 		v := f.pickVictim(maxValid)
@@ -1489,6 +1529,7 @@ func (f *FTL) migrateLive(b int) {
 		for _, lun := range luns[1:] {
 			f.shareSlot(lun, newSid)
 		}
+		f.rlog.preserveCopy(sid, newSid)
 	}
 	// flush the GC stream's partial pages so the block is safe to erase
 	f.Sync(StreamGC, TagGC)

@@ -72,6 +72,42 @@ func (r *recoveryLog) noteErase(base, slots int64) {
 	}
 }
 
+// preserveCopy rewrites newSid's records to carry the sequence numbers of
+// the oldSid records it was copied from, then drops oldSid's records (its
+// block erases at the end of the collection pass). GC moves data without
+// changing its logical write time — the copied page's OOB carries the
+// source's timestamp, not the migration's. Minting fresh sequence numbers
+// instead loses a host write that races the collection: Write appends the
+// new slot (recording its OOB) and only then binds it, and a page program
+// inside that append can trigger GC that migrates the lun's old slot — a
+// fresh-seq copy of stale data would outrank the already-recorded new
+// write on SPOR replay.
+func (r *recoveryLog) preserveCopy(oldSid, newSid int64) {
+	seqOf := func(lun int64) uint64 {
+		var best uint64
+		if rec := r.oob[oldSid]; rec.seq != 0 && rec.lun == lun {
+			best = rec.seq
+		}
+		for _, a := range r.aliases[oldSid] {
+			if a.lun == lun && a.seq > best {
+				best = a.seq
+			}
+		}
+		return best
+	}
+	if rec := r.oob[newSid]; rec.seq != 0 {
+		if s := seqOf(rec.lun); s != 0 {
+			r.oob[newSid] = oobRecord{lun: rec.lun, seq: s}
+		}
+	}
+	for i, a := range r.aliases[newSid] {
+		if s := seqOf(a.lun); s != 0 {
+			r.aliases[newSid][i].seq = s
+		}
+	}
+	r.clearSlot(oldSid)
+}
+
 // clearSlot drops one slot's records without assigning a new sequence
 // number — used when a program failure relocates a buffered page and the
 // ruined page's OOB must not be scanned as live (a retired block is listed

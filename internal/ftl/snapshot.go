@@ -140,6 +140,9 @@ func (f *FTL) Snapshot() (*FTLState, error) {
 		if f.fm.flushing {
 			return nil, fmt.Errorf("ftl: snapshot during translation-page writeback")
 		}
+		if f.fm.batch {
+			return nil, fmt.Errorf("ftl: snapshot inside a checkpoint-cut remap batch")
+		}
 		st.rlogTP = append([]int64(nil), f.rlog.tp...)
 		st.fmCached = append([]uint64(nil), f.fm.cached...)
 		st.fmDirty = append([]uint64(nil), f.fm.dirty...)
@@ -245,6 +248,19 @@ func (f *FTL) Restore(st *FTLState) error {
 		copy(f.fm.tpOwner, st.fmTpOwner)
 		copy(f.fm.dirtyByTP, st.fmDirtyByTP)
 		f.fm.flushing = false
+		f.fm.batch = false
+		// The page-fill seen-set is per-command scratch: no command is in
+		// flight at a rest point, and the first command after restore opens a
+		// fresh epoch (1) that no zeroed stamp can collide with — exactly as
+		// the direct path's next epoch exceeds every stamp it ever wrote.
+		f.fm.cmdEpoch = 0
+		f.fm.cmdDepth = 0
+		for i := range f.fm.tpEpoch {
+			f.fm.tpEpoch[i] = 0
+		}
+		// Like the victim index below, the hottest-TP index is a pure
+		// function of the restored dirty counters.
+		f.fm.tpx.rebuild(f.fm.dirtyByTP)
 	}
 
 	f.gcDepth = 0

@@ -1,0 +1,284 @@
+package ftl
+
+import "math/bits"
+
+// tpIndex is the incrementally maintained hottest-translation-page structure:
+// every translation page with at least one dirty CMT entry is linked into an
+// intrusive doubly-linked bucket keyed by its current dirty-entry count.
+// Maintenance is O(1) per dirty transition, replacing the O(numTPs) scan
+// fmHottestTP used to run per flush — untenable inside the flush loop once
+// the logical space (and with it numTPs) grows to TB-scale maps.
+//
+// The design mirrors victimIndex (victim.go), with the selection order
+// inverted: the flush selector wants the *highest* non-empty bucket (densest
+// page first maximizes entries persisted per program), and within a bucket
+// the lowest tvpn — exactly the old scan's "strictly more dirty entries win,
+// first-encountered page keeps ties". That order depends only on the bucket
+// contents, never on FTL state or operation history, so each bucket carries a
+// lazily rebalanced min-tvpn best cache (exact or absent, as in victimIndex)
+// and Restore can rebuild the index from dirtyByTP alone while reproducing
+// byte-identical flush sequences.
+//
+// Relinks are batched: a dirty-count change only marks the page pending
+// (remap churn concentrates many transitions on few pages between two
+// selections), and flush re-buckets each pending page once before any read.
+type tpIndex struct {
+	next   []int32 // intrusive links per tvpn; -1 terminates
+	prev   []int32
+	linked []bool
+	bucket []int32 // dirty count at link time; -1 when unlinked
+
+	heads  []int32  // bucket head per dirty count (1..entriesPerTP; 0 unused)
+	counts []int32  // members per bucket
+	best   []int32  // cached best member: tvpn, or tpxEmpty / tpxDirty
+	words  []uint64 // bit v set ⇔ bucket v non-empty
+
+	pending  []int32
+	pendingM []bool
+}
+
+const (
+	tpxEmpty = int32(-1) // bucket has no members
+	tpxDirty = int32(-2) // bucket non-empty but cached best was removed
+)
+
+func newTPIndex(numTPs, entriesPerTP int) *tpIndex {
+	tx := &tpIndex{
+		next:   make([]int32, numTPs),
+		prev:   make([]int32, numTPs),
+		linked: make([]bool, numTPs),
+		bucket: make([]int32, numTPs),
+
+		heads:  make([]int32, entriesPerTP+1),
+		counts: make([]int32, entriesPerTP+1),
+		best:   make([]int32, entriesPerTP+1),
+		words:  make([]uint64, (entriesPerTP+1+63)/64),
+
+		pendingM: make([]bool, numTPs),
+		pending:  make([]int32, 0, numTPs),
+	}
+	for i := range tx.heads {
+		tx.heads[i] = -1
+		tx.best[i] = tpxEmpty
+	}
+	for i := range tx.bucket {
+		tx.bucket[i] = -1
+	}
+	return tx
+}
+
+// reset empties the index in place (rebuild repopulates it afterwards).
+func (tx *tpIndex) reset() {
+	for i := range tx.heads {
+		tx.heads[i] = -1
+		tx.counts[i] = 0
+		tx.best[i] = tpxEmpty
+	}
+	for i := range tx.words {
+		tx.words[i] = 0
+	}
+	for i := range tx.bucket {
+		tx.bucket[i] = -1
+		tx.linked[i] = false
+		tx.pendingM[i] = false
+	}
+	tx.pending = tx.pending[:0]
+}
+
+// insert links tvpn t into bucket v (its dirty count, ≥ 1).
+func (tx *tpIndex) insert(t int32, v int32) {
+	head := tx.heads[v]
+	tx.next[t] = head
+	tx.prev[t] = -1
+	if head >= 0 {
+		tx.prev[head] = t
+	}
+	tx.heads[v] = t
+	tx.linked[t] = true
+	tx.bucket[t] = v
+	tx.counts[v]++
+	tx.words[v/64] |= 1 << (v % 64)
+	switch best := tx.best[v]; {
+	case best == tpxEmpty:
+		tx.best[v] = t
+	case best == tpxDirty:
+		// stays dirty: the true best is unknown either way
+	case t < best:
+		tx.best[v] = t
+	}
+}
+
+// remove unlinks tvpn t (its count changed, or dropped to zero).
+func (tx *tpIndex) remove(t int32) {
+	v := tx.bucket[t]
+	n, p := tx.next[t], tx.prev[t]
+	if p >= 0 {
+		tx.next[p] = n
+	} else {
+		tx.heads[v] = n
+	}
+	if n >= 0 {
+		tx.prev[n] = p
+	}
+	tx.linked[t] = false
+	tx.bucket[t] = -1
+	tx.counts[v]--
+	if tx.counts[v] == 0 {
+		tx.words[v/64] &^= 1 << (v % 64)
+		tx.best[v] = tpxEmpty
+	} else if tx.best[v] == t {
+		tx.best[v] = tpxDirty
+	}
+}
+
+// markDirty records that tvpn t's dirty count changed; the re-bucketing
+// itself is deferred to flush.
+func (tx *tpIndex) markDirty(t int32) {
+	if !tx.pendingM[t] {
+		tx.pendingM[t] = true
+		tx.pending = append(tx.pending, t)
+	}
+}
+
+// flush re-buckets every pending page against the authoritative dirtyByTP
+// counters, restoring the bucket == dirtyByTP invariant the selection path
+// relies on. A page whose count dropped to zero simply unlinks.
+func (tx *tpIndex) flush(dirtyByTP []int32) {
+	for _, t := range tx.pending {
+		tx.pendingM[t] = false
+		n := dirtyByTP[t]
+		switch {
+		case tx.linked[t] && tx.bucket[t] == n:
+			// unchanged net of the batched transitions
+		case tx.linked[t]:
+			tx.remove(t)
+			if n > 0 {
+				tx.insert(t, n)
+			}
+		case n > 0:
+			tx.insert(t, n)
+		}
+	}
+	tx.pending = tx.pending[:0]
+}
+
+// bestOf returns bucket v's best (lowest-tvpn) member, rebuilding the lazy
+// cache with one bucket walk if the previous best was removed. Bucket v must
+// be non-empty.
+func (tx *tpIndex) bestOf(v int32) int32 {
+	best := tx.best[v]
+	if best >= 0 {
+		return best
+	}
+	for t := tx.heads[v]; t >= 0; t = tx.next[t] {
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	tx.best[v] = best
+	return best
+}
+
+// highestBucket returns the largest non-empty bucket, or -1 when no page has
+// dirty entries. Scans the bucket bitmap from the top.
+func (tx *tpIndex) highestBucket() int32 {
+	for w := len(tx.words) - 1; w >= 0; w-- {
+		word := tx.words[w]
+		if word == 0 {
+			continue
+		}
+		return int32(w*64 + 63 - bits.LeadingZeros64(word))
+	}
+	return -1
+}
+
+// hottest returns the translation page the retired linear scan would have
+// returned: the one with the most dirty entries, lowest tvpn on ties, or -1
+// when nothing is dirty.
+func (tx *tpIndex) hottest(dirtyByTP []int32) int {
+	tx.flush(dirtyByTP)
+	v := tx.highestBucket()
+	if v < 0 {
+		return -1
+	}
+	return int(tx.bestOf(v))
+}
+
+// rebuild reconstructs the index from the dirty counters — used by
+// initFlashMap and Restore. The index is a pure function of dirtyByTP, so a
+// rebuilt index yields the same flush sequence as an incrementally
+// maintained one.
+func (tx *tpIndex) rebuild(dirtyByTP []int32) {
+	tx.reset()
+	for t, n := range dirtyByTP {
+		if n > 0 {
+			tx.insert(int32(t), n)
+		}
+	}
+}
+
+// check cross-checks the index against the dirty counters; fmCheckInvariants
+// calls it. Pending relinks are flushed first — re-bucketing only moves the
+// cache to its canonical form, and the structural checks assume
+// bucket == dirtyByTP.
+func (tx *tpIndex) check(dirtyByTP []int32, report func(format string, args ...any)) {
+	tx.flush(dirtyByTP)
+	seen := 0
+	for v := range tx.heads {
+		members := int32(0)
+		prev := int32(-1)
+		for t := tx.heads[v]; t >= 0; t = tx.next[t] {
+			if tx.prev[t] != prev {
+				report("tp index: tvpn %d in bucket %d has prev %d, want %d", t, v, tx.prev[t], prev)
+			}
+			if !tx.linked[t] || int(tx.bucket[t]) != v {
+				report("tp index: tvpn %d linked in bucket %d but tagged (linked=%v bucket=%d)",
+					t, v, tx.linked[t], tx.bucket[t])
+			}
+			if int(dirtyByTP[t]) != v {
+				report("tp index: tvpn %d in bucket %d but dirtyByTP %d", t, v, dirtyByTP[t])
+			}
+			members++
+			seen++
+			prev = t
+		}
+		if members != tx.counts[v] {
+			report("tp index: bucket %d count %d but %d linked members", v, tx.counts[v], members)
+		}
+		hasBit := tx.words[v/64]&(1<<(v%64)) != 0
+		if hasBit != (members > 0) {
+			report("tp index: bucket %d bitmap bit %v with %d members", v, hasBit, members)
+		}
+		if best := tx.best[v]; best >= 0 {
+			if !tx.linked[best] || int(tx.bucket[best]) != v {
+				report("tp index: bucket %d cached best %d is not a member", v, best)
+			} else {
+				want := tpxDirty
+				for t := tx.heads[v]; t >= 0; t = tx.next[t] {
+					if want < 0 || t < want {
+						want = t
+					}
+				}
+				if best != want {
+					report("tp index: bucket %d cached best %d, true best %d", v, best, want)
+				}
+			}
+		} else if best == tpxEmpty && members > 0 {
+			report("tp index: bucket %d marked empty with %d members", v, members)
+		}
+	}
+	dirtyPages := 0
+	for t, n := range dirtyByTP {
+		if n > 0 {
+			dirtyPages++
+			if !tx.linked[t] {
+				report("tp index: tvpn %d has %d dirty entries but is not linked", t, n)
+			}
+		} else if tx.linked[t] {
+			report("tp index: tvpn %d linked with zero dirty entries", t)
+		}
+	}
+	if seen != dirtyPages {
+		report("tp index: %d linked pages but %d pages with dirty entries", seen, dirtyPages)
+	}
+}

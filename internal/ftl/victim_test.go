@@ -47,7 +47,16 @@ func oracleWorkload(t *testing.T, e *sim.Engine, f *FTL, rng *benchRNG, rounds i
 		case 1: // remap across halves (shared slots, overflow churn)
 			src := (int64(r>>8) % (luns / 2)) * unit
 			dst := (luns/2 + int64(r>>40)%(luns/2)) * unit
-			f.Remap(src, dst, unit)
+			if (r>>16)&3 == 0 {
+				// Every fourth remap runs inside a checkpoint-cut batch
+				// window (a no-op in dram mode) so the deferred-settle
+				// path sees the same churn the interleaved path does.
+				f.BeginCheckpointCut()
+				f.Remap(src, dst, unit)
+				f.EndCheckpointCut()
+			} else {
+				f.Remap(src, dst, unit)
+			}
 		default: // 90/10-ish skewed overwrite
 			var lun int64
 			if r%3 != 0 {

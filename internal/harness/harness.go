@@ -68,6 +68,13 @@ type Opts struct {
 	// Forwarded verbatim to checkin.Config.FTLMap; dftl shifts the reported
 	// numbers because mapping misses and writebacks cost flash operations.
 	FTLMap string
+	// CMTFill, CMTCleanWindow and RemapBatch forward the dftl CMT
+	// optimization knobs verbatim to checkin.Config (""/zero = defaults on;
+	// "off"/1 restore the pre-optimization paths for ablation). Ignored in
+	// dram mode.
+	CMTFill        string
+	CMTCleanWindow int
+	RemapBatch     string
 	// Shards and Tenants size the sharded scale-out experiment (0 = defaults
 	// of 4 shards, 3 tenants). Only shardsched consults them.
 	Shards  int
@@ -244,6 +251,9 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	cfg.CheckpointInterval = 300 * time.Millisecond
 	cfg.Domains = o.Domains
 	cfg.FTLMap = o.FTLMap
+	cfg.CMTFill = o.CMTFill
+	cfg.CMTCleanWindow = o.CMTCleanWindow
+	cfg.RemapBatch = o.RemapBatch
 	if o.Errors != "" && o.Errors != "off" {
 		p, err := checkin.ParseErrorProfile(o.Errors)
 		if err != nil {

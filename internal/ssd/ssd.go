@@ -413,6 +413,18 @@ func (d *Device) CheckpointRequest(entries []RemapEntry) (*RemapStats, *sim.Futu
 	return res, fut
 }
 
+// BeginCheckpointCut / EndCheckpointCut bracket one checkpoint's remap burst
+// for the FTL's translation-metadata layer: between them, mapping-writeback
+// work deferred by the dftl remap batch accumulates and settles once at the
+// cut end (see ftl.BeginCheckpointCut). Zero-cost control-plane markers — no
+// command is queued and nothing crosses the host link; no-ops in dram mode.
+func (d *Device) BeginCheckpointCut() { d.f.BeginCheckpointCut() }
+
+// EndCheckpointCut settles the remap-batch window opened by
+// BeginCheckpointCut. Callers issue it after the last checkpoint-request
+// command completed and before the checkpoint's durability barrier.
+func (d *Device) EndCheckpointCut() { d.f.EndCheckpointCut() }
+
 // ---------------------------------------------------------------------------
 // deallocator: idle-window background GC
 

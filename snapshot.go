@@ -154,6 +154,14 @@ func LoadFingerprint(cfg Config) (uint64, bool) {
 	// the dftl introduction.
 	h.TagIf(cfg.FTLMap != "dram", "ftlmap", "%s/%d", cfg.FTLMap, cfg.CMTEntries)
 	h.TagIf(cfg.MetaFlushEntries != 0, "mf", "%d", cfg.MetaFlushEntries)
+	// CMT-optimization knobs (dftl only; appended only off their defaults so
+	// existing fingerprints stay stable across the optimization layer's
+	// introduction). RemapBatch is deliberately absent: Load never runs a
+	// checkpoint, so the remap batch cannot shape post-Load state — it tags
+	// the run fingerprint instead, letting one preconditioned template serve
+	// batch-on/off ablation sweeps.
+	h.TagIf(cfg.CMTFill == "off", "cmtfill", "off")
+	h.TagIf(cfg.CMTCleanWindow != 0, "cmtcw", "%d", cfg.CMTCleanWindow)
 	h.Tag("dev", "%d/%d/%d/%d/%d", cfg.QueueDepth, cfg.PCIeMBps, cfg.DataCacheMB,
 		cfg.CommandTimeout.Nanoseconds(), cfg.TimeoutBackoff.Nanoseconds())
 	h.Tag("rel", "%v/%v/%v/%v/%v/%v/%d/%d", cfg.ReadRetryRate, cfg.RetryEscalation,
@@ -190,6 +198,7 @@ func Fingerprint(cfg Config) (uint64, bool) {
 	h.Tag("adapt", "%d", cfg.AdaptiveLiveBudget)
 	h.Tag("hc", "%d", cfg.HostCacheEntries)
 	h.Tag("lock", "%v", cfg.LockDuringCheckpoint)
+	h.TagIf(cfg.RemapBatch == "off", "rbatch", "off")
 	return h.Sum(), true
 }
 
