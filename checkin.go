@@ -126,6 +126,21 @@ type Config struct {
 	Strategy Strategy
 	Seed     int64
 
+	// Engine selects the host storage engine: "journal" (default — the
+	// paper's journaling engine with the in-memory key table) or "lsm"
+	// (write-ahead log + memtable + sorted runs with compaction). Both
+	// run over the same simulated device and the same checkpoint
+	// strategies; see HostEngine.
+	Engine string
+
+	// Compaction selects the LSM compaction policy: "leveled" (default)
+	// or "tiered". Ignored by the journal engine.
+	Compaction string
+
+	// MemtableEntries caps the LSM memtable's distinct-key count before a
+	// flush epoch triggers (0 → 4096). Ignored by the journal engine.
+	MemtableEntries int
+
 	// Flash geometry.
 	Channels       int
 	DiesPerChannel int
@@ -303,6 +318,10 @@ type DB struct {
 	cfg    Config
 	eng    *sim.Engine
 	device *ssd.Device
+	host   HostEngine
+	// engine is the journal backend, nil when Config.Engine selects an
+	// alternate one; Engine() keeps exposing it for journal-specific
+	// inspection.
 	engine *core.Engine
 	tracer *trace.Tracer
 
@@ -383,6 +402,12 @@ func withDefaults(cfg Config) Config {
 	}
 	if cfg.FTLMap == "" {
 		cfg.FTLMap = "dram"
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "journal"
+	}
+	if cfg.Engine == "lsm" && cfg.Compaction == "" {
+		cfg.Compaction = "leveled"
 	}
 	return cfg
 }
@@ -520,26 +545,14 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("checkin: %w", err)
 	}
 
-	ecfg := core.DefaultConfig()
-	ecfg.Strategy = cfg.Strategy
-	ecfg.Keys = cfg.Keys
-	ecfg.Sizer = cfg.Records
-	ecfg.JournalHalfBytes = int64(cfg.JournalHalfMB) << 20
-	ecfg.CheckpointInterval = sim.VTime(cfg.CheckpointInterval.Nanoseconds())
-	ecfg.JournalSoftFrac = cfg.JournalSoftFrac
-	ecfg.CompressRatio = cfg.CompressRatio
-	ecfg.AdaptiveLiveBudget = cfg.AdaptiveLiveBudget
-	ecfg.Tracer = tracer
-	ecfg.HostCacheEntries = cfg.HostCacheEntries
-	ecfg.LockDuringCheckpoint = cfg.LockDuringCheckpoint
-	ecfg.Injector = cfg.Injector
-	ecfg.Seed = cfg.Seed
-	engine, err := core.NewEngine(eng, device, ecfg)
+	host, err := newHostEngine(eng, device, cfg, tracer)
 	if err != nil {
 		return nil, fmt.Errorf("checkin: %w", err)
 	}
 
-	return &DB{cfg: cfg, eng: eng, device: device, engine: engine, tracer: tracer}, nil
+	db := &DB{cfg: cfg, eng: eng, device: device, host: host, tracer: tracer}
+	db.engine, _ = host.(*core.Engine) // nil under alternate backends
+	return db, nil
 }
 
 // Config returns the resolved configuration the DB runs with.
@@ -557,7 +570,7 @@ func (db *DB) Config() Config { return db.cfg }
 // byte-identical: re-arming is always the next scheduled action taken from
 // identical (clock, sequence) state.
 func (db *DB) Load() {
-	db.engine.Load()
+	db.host.Load()
 	db.device.PauseDeallocator()
 	db.eng.Run()
 	rp := db.eng.State()
@@ -566,37 +579,48 @@ func (db *DB) Load() {
 }
 
 // Run executes a workload phase and returns its metrics.
-func (db *DB) Run(spec RunSpec) (*Metrics, error) { return db.engine.Run(spec) }
+func (db *DB) Run(spec RunSpec) (*Metrics, error) { return db.host.Run(spec) }
 
 // SimulateRecovery models a crash at the current instant and returns what a
 // restarted instance would reconstruct from the checkpoint and journal.
-func (db *DB) SimulateRecovery() *RecoveryReport { return db.engine.SimulateRecovery() }
+func (db *DB) SimulateRecovery() *RecoveryReport { return db.host.SimulateRecovery() }
 
 // DurableVersions returns per-key durable versions (ground truth for
 // recovery validation).
-func (db *DB) DurableVersions() []int64 { return db.engine.DurableVersions() }
+func (db *DB) DurableVersions() []int64 { return db.host.DurableVersions() }
 
-// Engine exposes the storage engine for advanced inspection.
+// Host exposes the storage engine behind the backend-agnostic interface.
+func (db *DB) Host() HostEngine { return db.host }
+
+// Engine exposes the journal storage engine for advanced inspection; nil
+// when Config.Engine selects another backend (use Host instead).
 func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Device exposes the simulated SSD.
+func (db *DB) Device() *ssd.Device { return db.device }
+
+// Sim exposes the simulation kernel.
+func (db *DB) Sim() *sim.Engine { return db.eng }
 
 // Lifetime returns the projected flash lifetime per the paper's Equation
 // (1), using total simulated time as Top. Compare across configurations.
 func (db *DB) Lifetime() float64 {
-	return db.engine.Device().FTL().Array().Lifetime(db.eng.Now())
+	return db.device.FTL().Array().Lifetime(db.eng.Now())
 }
 
 // FlashEnergyMJ returns cumulative flash energy in millijoules — the
 // energy side of the paper's write-amplification motivation.
 func (db *DB) FlashEnergyMJ() float64 {
-	return float64(db.engine.Device().FTL().Array().EnergyNJ()) / 1e6
+	return float64(db.device.FTL().Array().EnergyNJ()) / 1e6
 }
 
 // Trace returns the structured event tracer, or nil when tracing is
 // disabled (Config.TraceCapacity == 0).
 func (db *DB) Trace() *trace.Tracer { return db.tracer }
 
-// JournalStats returns journaling-layer counters (space overhead etc.).
-func (db *DB) JournalStats() core.JournalStats { return db.engine.JournalStats() }
+// JournalStats returns journaling-layer counters (space overhead etc.);
+// under the LSM backend these are the write-ahead log's counters.
+func (db *DB) JournalStats() core.JournalStats { return db.host.JournalStats() }
 
 // SimulateSPOR models a sudden power-off at the device level: the SSD
 // rebuilds its mapping table purely from OOB records, remap aliases and

@@ -38,6 +38,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		markdown   = flag.String("markdown", "", "also append results as markdown tables to this file")
 		errProfile = flag.String("errors", "off", "NAND error profile applied to every run: off | light | heavy")
+		engine     = flag.String("engine", "journal", "host storage-engine backend for every run: journal (paper's journal+JMT) | lsm (WAL + memtable + sorted runs); experiments that compare backends override per cell")
 		domains    = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
 		ftlmap     = flag.String("ftlmap", "dram", "FTL mapping-table model: dram (full table in controller DRAM) | dftl (flash-resident translation pages; charges mapping misses and writebacks through NAND timing)")
 		cmtfill    = flag.String("cmtfill", "on", "dftl: on a CMT miss, fill every entry the fetched translation page covers: on | off (off = demanded entry only)")
@@ -108,6 +109,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "checkin-bench: bad -ftlmap %q (want dram or dftl)\n", *ftlmap)
 		os.Exit(2)
 	}
+	if !validEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "checkin-bench: bad -engine %q (registered: %s)\n",
+			*engine, strings.Join(checkin.EngineNames(), ", "))
+		os.Exit(2)
+	}
 	seedList := []int64{*seed}
 	if *seeds != "" {
 		seedList = seedList[:0]
@@ -137,7 +143,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, sd := range seedList {
-			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing, Errors: profile.Name, Domains: *domains, FTLMap: *ftlmap, CMTFill: *cmtfill, CMTCleanWindow: *cmtcw, RemapBatch: *remapbatch, Shards: *shards, Tenants: *tenants, Arrival: *arrival, CkSched: *cksched}
+			opts := harness.Opts{Scale: *scale, Threads: ths, Seed: sd, Parallelism: *parallel, Snapshots: *snapshot, Timing: *timing, Errors: profile.Name, Domains: *domains, Engine: *engine, FTLMap: *ftlmap, CMTFill: *cmtfill, CMTCleanWindow: *cmtcw, RemapBatch: *remapbatch, Shards: *shards, Tenants: *tenants, Arrival: *arrival, CkSched: *cksched}
 			start := time.Now()
 			table, err := exp.Run(opts)
 			if err != nil {
@@ -194,6 +200,15 @@ func printTimings(id string, cells []harness.CellTiming, render time.Duration) {
 		fmt.Printf("    %-*s  %10s  %10s\n", w, c.Cell, ms(c.Load), ms(c.Run))
 	}
 	fmt.Printf("    %-*s  %10s  %10s  render %s\n", w, "total", ms(load), ms(run), ms(render))
+}
+
+func validEngine(name string) bool {
+	for _, n := range checkin.EngineNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	checkin "github.com/checkin-kv/checkin"
@@ -50,6 +51,9 @@ func main() {
 		site        = flag.String("site", "", "crashpoints: injection site name (empty = every site the census finds)")
 		hit         = flag.Int("hit", 0, "crashpoints: 1-based hit index of -site to crash at")
 		errProfile  = flag.String("errors", "off", "NAND error profile: off | light | heavy")
+		engine      = flag.String("engine", "journal", "host storage-engine backend: journal (paper's journal+JMT) | lsm (WAL + memtable + sorted runs)")
+		compaction  = flag.String("compaction", "leveled", "lsm: compaction policy, leveled | tiered")
+		memtable    = flag.Int("memtable", 0, "lsm: memtable entry bound before a flush epoch (0 = default 4096)")
 		domains     = flag.String("domains", "auto", "parallel DES kernel (per-channel NAND event domains): on | off | auto (output is byte-identical either way)")
 		ftlmap      = flag.String("ftlmap", "dram", "FTL mapping-table model: dram | dftl (flash-resident translation pages)")
 		cmtfill     = flag.String("cmtfill", "on", "dftl: on a CMT miss, fill every entry the fetched translation page covers: on | off (off = demanded entry only)")
@@ -101,8 +105,14 @@ func main() {
 	if *ftlmap != "dram" && *ftlmap != "dftl" {
 		fatal(fmt.Errorf("bad -ftlmap %q (want dram or dftl)", *ftlmap))
 	}
+	if !validEngine(*engine) {
+		fatal(fmt.Errorf("bad -engine %q (registered: %s)", *engine, strings.Join(checkin.EngineNames(), ", ")))
+	}
+	if *compaction != "leveled" && *compaction != "tiered" {
+		fatal(fmt.Errorf("bad -compaction %q (want leveled or tiered)", *compaction))
+	}
 	if *crashpoints {
-		runCrashpoints(s, *seed, *site, *hit, profile.Name, *ftlmap)
+		runCrashpoints(s, *seed, *site, *hit, profile.Name, *ftlmap, *engine, *compaction)
 		return
 	}
 	if *shards > 0 {
@@ -128,6 +138,9 @@ func main() {
 
 	cfg := checkin.DefaultConfig()
 	cfg.Strategy = s
+	cfg.Engine = *engine
+	cfg.Compaction = *compaction
+	cfg.MemtableEntries = *memtable
 	cfg.Keys = *keys
 	cfg.CheckpointInterval = *interval
 	cfg.MappingUnit = *unit
@@ -173,7 +186,7 @@ func main() {
 	}
 	fmt.Printf("\n%s", m.Summary())
 	if profile.Name != "off" {
-		ns := db.Engine().Device().FTL().Array().Stats()
+		ns := db.Device().FTL().Array().Stats()
 		h := db.Health()
 		fmt.Printf("nand faults        %d retries, %d uncorrectable, %d program fails, %d erase fails\n",
 			ns.ReadRetries, ns.UncorrectableReads, ns.ProgramFails, ns.EraseFails)
@@ -245,9 +258,17 @@ func main() {
 // for the strategy and seed: a census of every injection site the workload
 // reaches, then sampled armed crashes at each, validating host recovery,
 // device SPOR, and FTL invariants at every crash instant.
-func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, errProfile, ftlmap string) {
+func runCrashpoints(s checkin.Strategy, seed int64, siteName string, hit int, errProfile, ftlmap, engine, compaction string) {
 	opts := check.DefaultOptions()
-	if ftlmap != "dram" {
+	switch {
+	case engine == "lsm":
+		// LSMOptions mirrors the LSM crash-matrix tests, so repro lines
+		// carrying -engine=lsm [-compaction=tiered] replay identically.
+		opts = check.LSMOptions(compaction)
+		if ftlmap != "dram" {
+			fatal(fmt.Errorf("-engine=lsm -crashpoints does not take -ftlmap=%s", ftlmap))
+		}
+	case ftlmap != "dram":
 		opts = check.DFTLOptions()
 	}
 	if errProfile != "off" {
@@ -335,6 +356,15 @@ func runSharded(s checkin.Strategy, profile checkin.ErrorProfile, shards, tenant
 	}
 	rep.Render(os.Stdout)
 	fmt.Printf("wall time %.2fs (load %.2fs)\n", rep.Wall.Seconds(), rep.LoadWall.Seconds())
+}
+
+func validEngine(name string) bool {
+	for _, n := range checkin.EngineNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

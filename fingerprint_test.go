@@ -79,6 +79,9 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 		"ReadRetryRate":    func(c *Config) { c.ReadRetryRate = 0.01 },
 		// Strategy shapes the load fingerprint through remap slot alignment.
 		"Strategy": func(c *Config) { c.Strategy = StrategyBaseline },
+		// The backend shapes post-Load state from the ground up: the
+		// template cache must never serve a journal snapshot to an LSM run.
+		"Engine": func(c *Config) { c.Engine = "lsm" },
 	}
 	for name, mutate := range mutations {
 		cfg := base
@@ -113,5 +116,41 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 	// Zero-value and explicitly defaulted configs fingerprint identically.
 	if lfpd, _ := LoadFingerprint(withDefaults(base)); lfpd != lfp0 {
 		t.Error("withDefaults changed the load fingerprint")
+	}
+
+	// LSM run-phase shape: one LSM template serves both compaction policies
+	// and any memtable bound (run-fingerprint tags only), while selecting
+	// the backend itself moves the load fingerprint — and the explicit
+	// "journal" spelling hashes identically to the zero-value default.
+	lsmBase := base
+	lsmBase.Engine = "lsm"
+	llfp0, ok := LoadFingerprint(lsmBase)
+	if !ok {
+		t.Fatal("lsm config not snapshottable")
+	}
+	lrfp0, _ := Fingerprint(lsmBase)
+	lsmRunKnobs := map[string]func(*Config){
+		"Compaction":      func(c *Config) { c.Compaction = "tiered" },
+		"MemtableEntries": func(c *Config) { c.MemtableEntries = 1024 },
+	}
+	for name, mutate := range lsmRunKnobs {
+		cfg := lsmBase
+		mutate(&cfg)
+		lfp, _ := LoadFingerprint(cfg)
+		if lfp != llfp0 {
+			t.Errorf("%s: LSM run-phase knob moved the load fingerprint", name)
+		}
+		rfp, _ := Fingerprint(cfg)
+		if rfp == lrfp0 {
+			t.Errorf("%s: LSM run fingerprint did not change", name)
+		}
+	}
+	explicit := base
+	explicit.Engine = "journal"
+	if lfp, _ := LoadFingerprint(explicit); lfp != lfp0 {
+		t.Error(`Engine "journal" fingerprints differently from the zero-value default`)
+	}
+	if rfp, _ := Fingerprint(explicit); rfp != rfp0 {
+		t.Error(`Engine "journal" moved the run fingerprint off the zero-value default`)
 	}
 }

@@ -39,6 +39,7 @@ import (
 
 	checkin "github.com/checkin-kv/checkin"
 	"github.com/checkin-kv/checkin/internal/inject"
+	"github.com/checkin-kv/checkin/internal/sim"
 	"github.com/checkin-kv/checkin/internal/workload"
 )
 
@@ -105,6 +106,16 @@ type Options struct {
 	CMTFill        string
 	CMTCleanWindow int
 	RemapBatch     string
+	// Engine selects the host backend for every build ("" = journal).
+	// Under "lsm" the WAL/memtable/compaction sites fire and recovery is
+	// manifest + WAL-tail replay instead of checkpoint + journal replay —
+	// the same oracle validates both.
+	Engine string
+	// Compaction and MemtableEntries forward the LSM shape (ignored by the
+	// journal engine). The LSM matrix pins the memtable small so flush and
+	// compaction happen many times within one verification trace.
+	Compaction      string
+	MemtableEntries int
 }
 
 // DefaultOptions is sized so one (strategy, seed) matrix — census plus all
@@ -134,6 +145,22 @@ func DFTLOptions() Options {
 	o.Ops = 9000
 	o.FTLMap = "dftl"
 	o.CMTEntries = DFTLCMTEntries
+	return o
+}
+
+// LSMOptions is the LSM-backend crash-matrix schedule: DefaultOptions with
+// the lsm engine selected, a longer trace, and a small memtable bound so
+// the run crosses many flush epochs and several compactions — enough that
+// every LSM site (wal-append, wal-commit, mem-flush, compact-install,
+// manifest-publish) fires. Tests and the checkin-sim -crashpoints CLI must
+// both use it so (seed, site, hit, -engine=lsm) repro lines replay
+// identically. policy selects the compaction policy under test.
+func LSMOptions(policy string) Options {
+	o := DefaultOptions()
+	o.Ops = 6000
+	o.Engine = "lsm"
+	o.Compaction = policy
+	o.MemtableEntries = 256
 	return o
 }
 
@@ -182,6 +209,9 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 	cfg.CMTFill = opts.CMTFill
 	cfg.CMTCleanWindow = opts.CMTCleanWindow
 	cfg.RemapBatch = opts.RemapBatch
+	cfg.Engine = opts.Engine
+	cfg.Compaction = opts.Compaction
+	cfg.MemtableEntries = opts.MemtableEntries
 	if opts.FTLMap == "dftl" {
 		// Tighter free-space margin so GC pressure stays high with the
 		// translation stream competing for blocks.
@@ -211,17 +241,17 @@ func Build(strategy checkin.Strategy, seed int64, opts Options, inj *inject.Inje
 		// Every verification build runs with the differential mapping
 		// oracle armed: a coherence divergence panics at the faulting
 		// access instead of surfacing as a downstream validation diff.
-		db.Engine().Device().FTL().EnableMapOracle()
+		db.Device().FTL().EnableMapOracle()
 	}
 	model := NewModel(opts.Keys)
-	db.Engine().SetCommitHook(model.Commit)
+	db.Host().SetCommitHook(model.Commit)
 	return db, model, nil
 }
 
 // Validate performs the three crash-point checks against db's current
 // state. It is pure — callable from inside a simulation event.
 func Validate(db *checkin.DB, model *Model) error {
-	recovered := db.Engine().RecoveredVersions()
+	recovered := db.Host().RecoveredVersions()
 	want := model.Committed()
 	diffs := 0
 	var first string
@@ -236,10 +266,10 @@ func Validate(db *checkin.DB, model *Model) error {
 	if diffs > 0 {
 		return fmt.Errorf("host recovery diverges from reference model at %d keys (first: %s)", diffs, first)
 	}
-	if rep := db.Engine().Device().FTL().VerifySPOR(); rep.Mismatches != 0 {
+	if rep := db.Device().FTL().VerifySPOR(); rep.Mismatches != 0 {
 		return fmt.Errorf("device SPOR rebuild lost durable state: %s", rep)
 	}
-	if err := db.Engine().Device().FTL().CheckInvariants(); err != nil {
+	if err := db.Device().FTL().CheckInvariants(); err != nil {
 		return err
 	}
 	return nil
@@ -295,6 +325,8 @@ type CrashResult struct {
 	Hit      int    // 1-based hit index within the measured run
 	Errors   string // error profile the run was built with ("" = off)
 	FTLMap   string // mapping-table model the run was built with ("" = dram)
+	Engine   string // host backend the run was built with ("" = journal)
+	Policy   string // LSM compaction policy ("" = n/a or leveled default)
 	Fired    bool
 	Err      error
 }
@@ -308,6 +340,12 @@ func (r CrashResult) Repro() string {
 	}
 	if r.FTLMap != "" && r.FTLMap != "dram" {
 		line += fmt.Sprintf(" -ftlmap=%s", r.FTLMap)
+	}
+	if r.Engine != "" && r.Engine != "journal" {
+		line += fmt.Sprintf(" -engine=%s", r.Engine)
+		if r.Policy != "" && r.Policy != "leveled" {
+			line += fmt.Sprintf(" -compaction=%s", r.Policy)
+		}
 	}
 	return line
 }
@@ -328,7 +366,9 @@ func (r CrashResult) String() string {
 // validation runs; the simulation then continues to completion so the
 // armed run's hit counting stays comparable to the census.
 func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, tr *checkin.Trace, opts Options) CrashResult {
-	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit, Errors: opts.Errors, FTLMap: opts.FTLMap}
+	res := CrashResult{Strategy: strategy, Seed: seed, Site: site, Hit: hit,
+		Errors: opts.Errors, FTLMap: opts.FTLMap, Engine: opts.Engine,
+		Policy: opts.Compaction}
 	inj := inject.New()
 	db, model, err := Build(strategy, seed, opts, inj)
 	if err != nil {
@@ -337,7 +377,7 @@ func RunCrash(strategy checkin.Strategy, seed int64, site inject.Site, hit int, 
 	}
 	db.Load()
 	model.Loaded()
-	eng := db.Engine().Sim()
+	eng := db.Sim()
 	inj.Arm(site, hit-1,
 		func(fire func()) { eng.Schedule(0, fire) },
 		func(s inject.Site, n int) {
@@ -419,5 +459,70 @@ func FinalVersions(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opt
 	if err != nil {
 		return nil, err
 	}
-	return db.Engine().InMemoryVersions(), nil
+	return db.Host().InMemoryVersions(), nil
+}
+
+// EpochSignatures is the cross-backend differential driver: one client
+// applies the trace sequentially through the HostEngine interface, and
+// every epochEvery operations it syncs, cuts a checkpoint epoch, and
+// captures the recovered-version vector (what a crash at that instant
+// reconstructs). Two backends fed the same trace must produce identical
+// signature sequences — same committed prefix at every epoch — regardless
+// of how differently they lay the data out. The final state is also fully
+// validated against the reference model.
+func EpochSignatures(strategy checkin.Strategy, seed int64, tr *checkin.Trace, opts Options, epochEvery int) ([][]int64, error) {
+	db, model, err := Build(strategy, seed, opts, inject.New())
+	if err != nil {
+		return nil, err
+	}
+	db.Load()
+	model.Loaded()
+	host := db.Host()
+	eng := db.Sim()
+
+	var sigs [][]int64
+	var fail error
+	done := false
+	eng.Go("equivalence-driver", func(p *sim.Proc) {
+		for i, op := range tr.Ops {
+			switch op.Kind {
+			case workload.OpRead:
+				host.Get(p, op.Key)
+			case workload.OpUpdate:
+				host.Update(p, op.Key, op.Size)
+			case workload.OpReadModifyWrite:
+				host.ReadModifyWrite(p, op.Key, op.Size)
+			case workload.OpScan:
+				host.Scan(p, op.Key, op.ScanLen)
+			case workload.OpDelete:
+				host.Delete(p, op.Key)
+			}
+			if (i+1)%epochEvery == 0 {
+				host.Sync(p)
+				p.Wait(host.TriggerCheckpoint())
+				sig := host.RecoveredVersions()
+				// Every epoch's recovered state must already equal the
+				// model's committed prefix (after Sync they coincide).
+				for k := range sig {
+					if sig[k] != model.Committed()[k] {
+						fail = fmt.Errorf("epoch %d: recovered[%d]=%d, model committed %d",
+							len(sigs), k, sig[k], model.Committed()[k])
+						return
+					}
+				}
+				sigs = append(sigs, sig)
+			}
+		}
+		done = true
+	})
+	for !done && fail == nil {
+		eng.RunUntil(eng.Now() + 50*sim.Millisecond)
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	if err := Validate(db, model); err != nil {
+		return nil, fmt.Errorf("final validation: %w", err)
+	}
+	return sigs, nil
 }

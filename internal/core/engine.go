@@ -342,6 +342,23 @@ func (en *Engine) Update(p *sim.Proc, key int64, size int) {
 	}
 }
 
+// Put is Update under the engine-agnostic host interface's name.
+func (en *Engine) Put(p *sim.Proc, key int64, size int) { en.Update(p, key, size) }
+
+// Sync blocks p until every journal log appended so far is durable — the
+// write-ahead group commits drain. Update already waits for its own commit,
+// so Sync matters only to callers pacing explicit durability epochs (the
+// cross-engine equivalence oracle).
+func (en *Engine) Sync(p *sim.Proc) {
+	for en.jr.commitInFlight || len(en.jr.pending) > 0 {
+		if en.jr.inFlightDone != nil {
+			p.Wait(en.jr.inFlightDone)
+		} else {
+			p.Sleep(sim.Microsecond) // batch buffered behind a checkpoint cut
+		}
+	}
+}
+
 // ReadModifyWrite executes YCSB-F's read-modify-write.
 func (en *Engine) ReadModifyWrite(p *sim.Proc, key int64, size int) {
 	en.Get(p, key)

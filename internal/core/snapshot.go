@@ -116,3 +116,19 @@ func (en *Engine) Restore(s *EngineState) error {
 	en.metrics = newMetrics()
 	return nil
 }
+
+// SnapshotState and RestoreState adapt Snapshot/Restore to the engine-
+// agnostic host interface (checkin.HostEngine): each backend's state type
+// travels as an opaque value and is checked back into shape on restore.
+
+// SnapshotState captures the engine's mutable state as an opaque value.
+func (en *Engine) SnapshotState() (any, error) { return en.Snapshot() }
+
+// RestoreState installs a state previously captured by SnapshotState.
+func (en *Engine) RestoreState(s any) error {
+	st, ok := s.(*EngineState)
+	if !ok {
+		return fmt.Errorf("core: restore with a foreign engine state (%T)", s)
+	}
+	return en.Restore(st)
+}

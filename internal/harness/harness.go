@@ -68,6 +68,11 @@ type Opts struct {
 	// Forwarded verbatim to checkin.Config.FTLMap; dftl shifts the reported
 	// numbers because mapping misses and writebacks cost flash operations.
 	FTLMap string
+	// Engine selects the host storage-engine backend for every run (""
+	// or "journal" = the paper's journal+JMT engine, "lsm" = the LSM-tree
+	// engine). Forwarded verbatim to checkin.Config.Engine. Experiments
+	// that compare backends explicitly (compaction) override it per cell.
+	Engine string
 	// CMTFill, CMTCleanWindow and RemapBatch forward the dftl CMT
 	// optimization knobs verbatim to checkin.Config (""/zero = defaults on;
 	// "off"/1 restore the pre-optimization paths for ablation). Ignored in
@@ -221,6 +226,7 @@ func Experiments() []Experiment {
 		{"fig13a", "Query throughput vs mapping unit size", Fig13a},
 		{"fig13b", "Space overhead of Check-In vs ISC-C (record-size patterns)", Fig13b},
 		{"shardsched", "Cross-shard checkpoint scheduling under multi-tenant open-loop traffic", ShardSched},
+		{"compaction", "Check-In vs host-side checkpointing under LSM compaction traffic", Compaction},
 		{"ablation", "Design-decision ablations beyond the paper's figures", Ablation},
 		{"compare", "Strict trace-replay comparison across all five configurations", Compare},
 		{"recovery", "Crash recovery and sudden-power-off recovery per configuration", Recovery},
@@ -250,6 +256,7 @@ func baseConfig(o Opts, s checkin.Strategy) checkin.Config {
 	cfg.Keys = 50_000
 	cfg.CheckpointInterval = 300 * time.Millisecond
 	cfg.Domains = o.Domains
+	cfg.Engine = o.Engine
 	cfg.FTLMap = o.FTLMap
 	cfg.CMTFill = o.CMTFill
 	cfg.CMTCleanWindow = o.CMTCleanWindow

@@ -14,7 +14,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must be present.
 	want := []string{"table1", "fig3a", "fig3b", "fig3c", "fig8a", "fig8b",
 		"lifetime", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13a", "fig13b",
-		"shardsched", "ablation", "compare", "recovery"}
+		"shardsched", "compaction", "ablation", "compare", "recovery"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))

@@ -88,6 +88,30 @@ const (
 	// victim block (data and translation blocks share the victim index).
 	SiteTransGC
 
+	// The LSM-engine sites below fire only under -engine=lsm (the
+	// write-ahead-log → memtable → sorted-run backend in internal/lsm);
+	// journal-engine census runs show zero hits and the matrix skips them.
+
+	// SiteWALAppend fires after a write is buffered in the memtable and its
+	// WAL record queued, before the group commit: the write is volatile and
+	// must NOT be recovered.
+	SiteWALAppend
+	// SiteWALCommit fires when a WAL group commit's flush completes: every
+	// record of the batch is durable and MUST be recovered.
+	SiteWALCommit
+	// SiteMemFlush fires after a flushed memtable's sorted run is durable on
+	// flash but before the manifest publishes it: the run is an orphan, and
+	// recovery must reconstruct its entries from the WAL instead.
+	SiteMemFlush
+	// SiteCompactInstall fires after a compaction's merged output run is
+	// durable but before the manifest swap removes its inputs: both old and
+	// new runs coexist and recovery must still see exactly the old manifest.
+	SiteCompactInstall
+	// SiteManifestPublish fires after a manifest slot write+flush is durable:
+	// the new run set is authoritative and the superseded WAL prefix is
+	// logically truncated.
+	SiteManifestPublish
+
 	// NumSites is the catalog size.
 	NumSites
 )
@@ -129,6 +153,16 @@ func (s Site) String() string {
 		return "trans-evict"
 	case SiteTransGC:
 		return "trans-gc"
+	case SiteWALAppend:
+		return "wal-append"
+	case SiteWALCommit:
+		return "wal-commit"
+	case SiteMemFlush:
+		return "mem-flush"
+	case SiteCompactInstall:
+		return "compact-install"
+	case SiteManifestPublish:
+		return "manifest-publish"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

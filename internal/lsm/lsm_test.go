@@ -1,0 +1,348 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/checkin-kv/checkin/internal/core"
+	"github.com/checkin-kv/checkin/internal/ftl"
+	"github.com/checkin-kv/checkin/internal/nand"
+	"github.com/checkin-kv/checkin/internal/sim"
+	"github.com/checkin-kv/checkin/internal/ssd"
+	"github.com/checkin-kv/checkin/internal/workload"
+)
+
+func newStack(t *testing.T, unit int) (*sim.Engine, *ssd.Device) {
+	t.Helper()
+	e := sim.NewEngine()
+	geo := nand.Geometry{
+		Channels: 2, PackagesPerChannel: 1, DiesPerPackage: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 64, PagesPerBlock: 32, PageSize: 4096,
+	}
+	tim := nand.Timing{
+		ReadPage: 50 * sim.Microsecond, ProgramPage: 500 * sim.Microsecond,
+		EraseBlock: 3 * sim.Millisecond, CmdOverhead: sim.Microsecond, ChannelMBps: 400,
+	}
+	arr, err := nand.New(e, geo, tim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := ftl.DefaultConfig()
+	fcfg.UnitSize = unit
+	fcfg.OverProvision = 0.15
+	fcfg.Parallelism = 4
+	f, err := ftl.New(e, arr, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := ssd.DefaultConfig()
+	dcfg.DeallocatorPeriod = 0
+	dcfg.CacheBytes = 1 << 20
+	d, err := ssd.New(e, f, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func runProc(e *sim.Engine, fn func(p *sim.Proc)) {
+	done := false
+	e.Go("test", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	for !done {
+		e.RunUntil(e.Now() + 50*sim.Millisecond)
+	}
+}
+
+// newTestEngine wires a small LSM engine for a strategy.
+func newTestEngine(t *testing.T, s core.Strategy, mut func(*Config)) (*sim.Engine, *Engine) {
+	t.Helper()
+	e, dev := newStack(t, s.DefaultMappingUnit())
+	cfg := DefaultConfig()
+	cfg.Strategy = s
+	cfg.Keys = 2000
+	cfg.Sizer = workload.FixedSizer{Size: 512}
+	cfg.WALHalfBytes = 2 << 20
+	cfg.MemtableEntries = 256
+	cfg.CheckpointInterval = 50 * sim.Millisecond
+	if mut != nil {
+		mut(&cfg)
+	}
+	en, err := New(e, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, en
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	e, dev := newStack(t, 512)
+	cfg := DefaultConfig()
+	cfg.Keys = 0
+	if _, err := New(e, dev, cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Policy = "sizetiered-typo"
+	if _, err := New(e, dev, cfg); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Keys = 100_000_000
+	if _, err := New(e, dev, cfg); err == nil {
+		t.Error("oversized key space accepted")
+	}
+}
+
+func TestLoadBuildsBaseRun(t *testing.T) {
+	_, en := newTestEngine(t, core.StrategyCheckIn, nil)
+	en.Load()
+	if got := len(en.levels[baseLevel]); got != 1 {
+		t.Fatalf("base level holds %d runs, want 1", got)
+	}
+	if en.st.ManifestWrites != 1 {
+		t.Errorf("manifest writes = %d, want 1", en.st.ManifestWrites)
+	}
+	rec := en.recoverReport()
+	for k, v := range rec.Recovered {
+		if v != 1 {
+			t.Fatalf("recovered[%d] = %d after load, want 1", k, v)
+		}
+	}
+}
+
+func TestFlushAppliesVersionsAllStrategies(t *testing.T) {
+	for _, s := range core.Strategies {
+		t.Run(s.String(), func(t *testing.T) {
+			e, en := newTestEngine(t, s, nil)
+			en.Load()
+			runProc(e, func(p *sim.Proc) {
+				for i := int64(0); i < 50; i++ {
+					en.Update(p, i, 512)
+				}
+				en.Update(p, 3, 512) // second post-load version for key 3
+				p.Wait(en.TriggerCheckpoint())
+			})
+			if en.flushRunning {
+				t.Fatal("flush still running")
+			}
+			if en.st.Flushes != 1 {
+				t.Fatalf("flushes = %d, want 1", en.st.Flushes)
+			}
+			if got := len(en.levels[0]); got != 1 {
+				t.Fatalf("level 0 holds %d runs, want 1", got)
+			}
+			// with the WAL floor advanced, recovery must come from the run
+			rec := en.recoverReport()
+			if rec.Recovered[3] != 3 {
+				t.Errorf("recovered[3] = %d, want 3 (load 1 + 2 updates)", rec.Recovered[3])
+			}
+			if rec.ReplayedLogs != 0 {
+				t.Errorf("replayed %d logs after a clean flush, want 0", rec.ReplayedLogs)
+			}
+			if s.UsesRemap() && en.RemapTotals().Remapped == 0 && en.RemapTotals().RMWs == 0 {
+				t.Error("remap strategy moved no entries through CheckpointRequest")
+			}
+		})
+	}
+}
+
+func TestUncommittedTailIsNotRecovered(t *testing.T) {
+	e, en := newTestEngine(t, core.StrategyCheckIn, nil)
+	en.Load()
+	runProc(e, func(p *sim.Proc) {
+		en.Update(p, 7, 512)
+		en.Sync(p)
+	})
+	// committed but unflushed: replayed from the WAL
+	rec := en.recoverReport()
+	if rec.Recovered[7] != 2 {
+		t.Fatalf("recovered[7] = %d, want 2", rec.Recovered[7])
+	}
+	if rec.ReplayedLogs != 1 {
+		t.Errorf("replayed %d logs, want 1", rec.ReplayedLogs)
+	}
+	// an appended-but-uncommitted record must not be recovered
+	en.walLive = append(en.walLive, &walRec{seq: en.w.seq + 1, key: 8, version: 99})
+	if got := en.recoverReport().Recovered[8]; got != 1 {
+		t.Errorf("recovered[8] = %d, want 1 (uncommitted tail lost)", got)
+	}
+}
+
+func TestCompactionFoldsLevelZero(t *testing.T) {
+	for _, policy := range []string{PolicyLeveled, PolicyTiered} {
+		t.Run(policy, func(t *testing.T) {
+			e, en := newTestEngine(t, core.StrategyCheckIn, func(c *Config) {
+				c.Policy = policy
+				c.MemtableEntries = 64
+			})
+			en.Load()
+			runProc(e, func(p *sim.Proc) {
+				// five flush epochs -> level 0 crosses the fan-in of 4
+				for epoch := int64(0); epoch < 5; epoch++ {
+					for i := int64(0); i < 100; i++ {
+						en.Update(p, (epoch*37+i)%500, 512)
+					}
+					p.Wait(en.TriggerCheckpoint())
+				}
+			})
+			// drain the cascade
+			for guard := 0; (en.compacting || e.LiveProcs() > 0) && guard < 10_000; guard++ {
+				e.RunUntil(e.Now() + 10*sim.Millisecond)
+			}
+			if en.st.Compactions == 0 {
+				t.Fatalf("no compaction ran under %s after 5 flushes (levels %v)", policy, en.Levels())
+			}
+			if len(en.levels[0]) >= 4 {
+				t.Errorf("level 0 still holds %d runs after compaction", len(en.levels[0]))
+			}
+			// version truth must survive the merges
+			rec := en.recoverReport()
+			versions := en.DurableVersions()
+			for k, v := range versions {
+				if rec.Recovered[k] != v {
+					t.Fatalf("recovered[%d] = %d, durable = %d", k, rec.Recovered[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestWALBackpressureTriggersFlush(t *testing.T) {
+	e, en := newTestEngine(t, core.StrategyCheckIn, func(c *Config) {
+		c.WALHalfBytes = 1 << 18 // 256KB: ~500 sector records
+		c.MemtableEntries = 1 << 20
+		c.WALSoftFrac = 0.99 // only hard back-pressure
+	})
+	en.Load()
+	runProc(e, func(p *sim.Proc) {
+		for i := int64(0); i < 1200; i++ {
+			en.Update(p, i%300, 512)
+		}
+	})
+	if en.st.Flushes == 0 {
+		t.Error("no flush despite WAL exhaustion")
+	}
+	if en.JournalStats().HalfSwitches == 0 {
+		t.Error("WAL never rotated halves")
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	e, en := newTestEngine(t, core.StrategyCheckIn, nil)
+	en.Load()
+	runProc(e, func(p *sim.Proc) {
+		for i := int64(0); i < 80; i++ {
+			en.Update(p, i, 512)
+		}
+		p.Wait(en.TriggerCheckpoint())
+		for i := int64(40); i < 60; i++ {
+			en.Update(p, i, 512)
+		}
+		en.Sync(p)
+	})
+	before := en.recoverReport().Recovered
+	s, err := en.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mutate, then restore and compare
+	runProc(e, func(p *sim.Proc) {
+		for i := int64(0); i < 30; i++ {
+			en.Update(p, i+100, 512)
+		}
+		p.Wait(en.TriggerCheckpoint())
+	})
+	if err := en.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	after := en.recoverReport().Recovered
+	for k := range before {
+		if before[k] != after[k] {
+			t.Fatalf("recovered[%d] = %d after restore, want %d", k, after[k], before[k])
+		}
+	}
+	if got := en.InMemoryVersions()[50]; got != 3 {
+		t.Errorf("version[50] = %d after restore, want 3", got)
+	}
+}
+
+func TestSnapshotRefusesMidFlush(t *testing.T) {
+	e, en := newTestEngine(t, core.StrategyCheckIn, nil)
+	en.Load()
+	snapErr := error(nil)
+	runProc(e, func(p *sim.Proc) {
+		for i := int64(0); i < 50; i++ {
+			en.Update(p, i, 512)
+		}
+		fut := en.TriggerCheckpoint()
+		_, snapErr = en.Snapshot()
+		p.Wait(fut)
+	})
+	if snapErr == nil {
+		t.Error("snapshot during a flush epoch accepted")
+	}
+}
+
+func TestAllocatorCoalesces(t *testing.T) {
+	a := newAllocator(extent{off: 0, len: 4096})
+	o1, ok1 := a.take(1024)
+	o2, ok2 := a.take(1024)
+	o3, ok3 := a.take(2048)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("allocation failed")
+	}
+	if _, ok := a.take(1); ok {
+		t.Fatal("overcommitted")
+	}
+	a.release(extent{off: o1, len: 1024})
+	a.release(extent{off: o3, len: 2048})
+	a.release(extent{off: o2, len: 1024})
+	if len(a.free) != 1 || a.freeBytes() != 4096 {
+		t.Fatalf("free list %v (%d bytes), want one extent of 4096", a.free, a.freeBytes())
+	}
+	if u := a.utilization(); u != 0 {
+		t.Errorf("utilization = %v, want 0", u)
+	}
+}
+
+func TestRunFindAndPlan(t *testing.T) {
+	entries := []runEntry{{key: 5, version: 2, size: 100}, {key: 1, version: 3, size: 700}, {key: 9, version: 1, size: 512}}
+	sortEntries(entries)
+	r, used := planRun(1, 0, entries, 10240)
+	if used != 512+1024+512 {
+		t.Fatalf("planned %d bytes, want %d", used, 512+1024+512)
+	}
+	if i, ok := r.find(5); !ok || r.vers[i] != 2 {
+		t.Error("find(5) failed")
+	}
+	if _, ok := r.find(4); ok {
+		t.Error("find(4) found a missing key")
+	}
+	if r.offs[0] != 10240 || r.offs[1] != 10240+1024 {
+		t.Errorf("offsets %v misplanned", r.offs)
+	}
+}
+
+func TestRunEngineSmoke(t *testing.T) {
+	_, en := newTestEngine(t, core.StrategyCheckIn, nil)
+	en.Load()
+	m, err := en.Run(core.RunSpec{
+		Threads: 2, TotalQueries: 2000, Mix: workload.WorkloadA, Zipfian: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries != 2000 {
+		t.Errorf("queries = %d, want 2000", m.Queries)
+	}
+	if m.Checkpoints() == 0 && en.st.Flushes == 0 {
+		t.Error("run finished without any flush epoch")
+	}
+	rep := en.SimulateRecovery()
+	if rep.RecoveryTime <= 0 {
+		t.Error("recovery charged no simulated time")
+	}
+}

@@ -1,0 +1,168 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sector is the block-interface granularity run entries align to.
+const sector = 512
+
+func roundUp(v, to int64) int64 {
+	if to <= 0 {
+		return v
+	}
+	return (v + to - 1) / to * to
+}
+
+// extent is a contiguous device range.
+type extent struct {
+	off, len int64
+}
+
+// run is one immutable sorted run on flash: entries in key order, each in a
+// sector-aligned slot inside the run's extent. The metadata (keys, versions,
+// sizes, per-entry offsets) stays host-resident — the in-memory index a real
+// engine would rebuild from the run's footer — so reads know exactly which
+// run holds a key without probing the device. Runs never mutate after
+// construction, which lets snapshots and forks share them by reference.
+type run struct {
+	id    uint64
+	level int
+	ext   extent
+
+	keys  []int64
+	vers  []int64
+	sizes []int32
+	offs  []int64 // absolute device offset per entry
+
+	payload int64 // raw value bytes (stats)
+}
+
+// runEntry is the builder's input: one key's newest version.
+type runEntry struct {
+	key     int64
+	version int64
+	size    int
+}
+
+// sortEntries orders entries by key. Keys are distinct (one memtable cell
+// per key; merges fold duplicates first), so the order is total and the
+// layout deterministic.
+func sortEntries(entries []runEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+}
+
+// planRun lays entries (must be sorted by key) out from base and returns
+// the run's metadata plus the extent length consumed (unaligned).
+func planRun(id uint64, level int, entries []runEntry, base int64) (*run, int64) {
+	r := &run{
+		id:    id,
+		level: level,
+		keys:  make([]int64, len(entries)),
+		vers:  make([]int64, len(entries)),
+		sizes: make([]int32, len(entries)),
+		offs:  make([]int64, len(entries)),
+	}
+	var off int64
+	for i, e := range entries {
+		r.keys[i] = e.key
+		r.vers[i] = e.version
+		r.sizes[i] = int32(e.size)
+		r.offs[i] = base + off
+		r.payload += int64(e.size)
+		off += roundUp(int64(e.size), sector)
+	}
+	return r, off
+}
+
+// find returns the index of key in the run, or ok=false.
+func (r *run) find(key int64) (int, bool) {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	if i < len(r.keys) && r.keys[i] == key {
+		return i, true
+	}
+	return 0, false
+}
+
+// dataBytes returns the laid-out (slot-padded) size of the run.
+func (r *run) dataBytes() int64 {
+	if len(r.keys) == 0 {
+		return 0
+	}
+	last := len(r.keys) - 1
+	return r.offs[last] + roundUp(int64(r.sizes[last]), sector) - r.offs[0]
+}
+
+// allocator hands out extents from the run area with a first-fit free list
+// (sorted by offset, coalescing on release). Deterministic by construction.
+type allocator struct {
+	area extent
+	free []extent
+}
+
+func newAllocator(area extent) *allocator {
+	return &allocator{area: area, free: []extent{area}}
+}
+
+// take allocates n bytes (caller aligns n), first fit.
+func (a *allocator) take(n int64) (int64, bool) {
+	for i := range a.free {
+		if a.free[i].len >= n {
+			off := a.free[i].off
+			a.free[i].off += n
+			a.free[i].len -= n
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// release returns an extent to the free list, merging neighbours.
+func (a *allocator) release(e extent) {
+	if e.len == 0 {
+		return
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= e.off })
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = e
+	// coalesce with the successor, then the predecessor
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].len == a.free[i+1].off {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].len == a.free[i].off {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// freeBytes sums the free list.
+func (a *allocator) freeBytes() int64 {
+	var sum int64
+	for _, e := range a.free {
+		sum += e.len
+	}
+	return sum
+}
+
+// utilization returns the allocated fraction of the run area.
+func (a *allocator) utilization() float64 {
+	if a.area.len == 0 {
+		return 1
+	}
+	return 1 - float64(a.freeBytes())/float64(a.area.len)
+}
+
+// clone deep-copies the allocator (snapshot support).
+func (a *allocator) clone() *allocator {
+	return &allocator{area: a.area, free: append([]extent(nil), a.free...)}
+}
+
+func (a *allocator) String() string {
+	return fmt.Sprintf("alloc[%d free in %d extents of %d]", a.freeBytes(), len(a.free), a.area.len)
+}

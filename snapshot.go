@@ -6,7 +6,6 @@ import (
 	"hash/fnv"
 	"io"
 
-	"github.com/checkin-kv/checkin/internal/core"
 	"github.com/checkin-kv/checkin/internal/ftl"
 	"github.com/checkin-kv/checkin/internal/nand"
 	"github.com/checkin-kv/checkin/internal/sim"
@@ -29,7 +28,11 @@ type Snapshot struct {
 	nand   *nand.ArrayState
 	ftl    *ftl.FTLState
 	dev    *ssd.DeviceState
-	core   *core.EngineState
+	// host is the storage engine's state as captured by its backend
+	// (core.EngineState or lsm.EngineState); RestoreState type-checks it,
+	// and the load fingerprint pins the backend, so a journal snapshot can
+	// never be stamped into an LSM fork.
+	host any
 }
 
 // Snapshot captures the DB's full simulated state. It must be called after
@@ -65,7 +68,7 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 	if s.dev, err = db.device.Snapshot(); err != nil {
 		return nil, err
 	}
-	if s.core, err = db.engine.Snapshot(); err != nil {
+	if s.host, err = db.host.SnapshotState(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -109,7 +112,7 @@ func (s *Snapshot) Fork(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.device.Restore(s.dev)
-	if err := db.engine.Restore(s.core); err != nil {
+	if err := db.host.RestoreState(s.host); err != nil {
 		return nil, err
 	}
 	rp := s.sim
@@ -172,6 +175,12 @@ func LoadFingerprint(cfg Config) (uint64, bool) {
 	// perfect-flash case, where Load consults no RNG).
 	h.TagIf(cfg.errorModelEnabled(), "relseed", "%d", cfg.Seed)
 	h.Tag("db", "%d/%d", cfg.Keys, cfg.JournalHalfMB)
+	// The backend shapes post-Load state from the ground up (journal halves
+	// + key table vs WAL + base run + manifest). Appended only off the
+	// default so journal fingerprints stay stable across the lsm
+	// introduction — and so the template cache can never serve a journal
+	// snapshot to an LSM run or vice versa.
+	h.TagIf(cfg.Engine != "journal", "engine", "%s", cfg.Engine)
 	h.Tag("remap", "%v", cfg.Strategy.UsesRemap())
 	h.Tag("sizer", "%016x", sizerFingerprint(cfg.Records, cfg.Keys))
 	return h.Sum(), true
@@ -199,6 +208,11 @@ func Fingerprint(cfg Config) (uint64, bool) {
 	h.Tag("hc", "%d", cfg.HostCacheEntries)
 	h.Tag("lock", "%v", cfg.LockDuringCheckpoint)
 	h.TagIf(cfg.RemapBatch == "off", "rbatch", "off")
+	// LSM run-phase shape: the compaction policy and memtable bound steer
+	// every flush and merge, but not the load phase (the base run's layout
+	// is policy-independent), so they tag here rather than in
+	// LoadFingerprint — one LSM template serves both policies.
+	h.TagIf(cfg.Engine != "journal", "lsmrun", "%s/%d", cfg.Compaction, cfg.MemtableEntries)
 	return h.Sum(), true
 }
 

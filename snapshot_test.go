@@ -295,3 +295,118 @@ func TestSnapshotForkDegradedDevice(t *testing.T) {
 		t.Errorf("degraded device violates FTL invariants after forked run: %v", err)
 	}
 }
+
+// lsmSnapConfig is snapTestConfig on the LSM backend: a slightly larger
+// device (the run area needs 3x the base-run payload beyond the WAL halves
+// and manifest slots) with a memtable small enough that the run phase
+// crosses several flush epochs and compactions.
+func lsmSnapConfig(policy string) checkin.Config {
+	cfg := snapTestConfig(checkin.StrategyCheckIn)
+	cfg.Engine = "lsm"
+	cfg.Compaction = policy
+	cfg.MemtableEntries = 256
+	cfg.BlocksPerPlane = 40
+	return cfg
+}
+
+// TestLSMSnapshotForkEquivalence is the fork-vs-direct byte-equivalence
+// check on the LSM backend: a DB forked from a post-Load snapshot must run
+// the workload indistinguishably from one that loaded itself — WAL state,
+// run layout, allocator free list and memtable all restore exactly — for
+// both compaction policies, including when the fork varies run-phase knobs.
+func TestLSMSnapshotForkEquivalence(t *testing.T) {
+	for _, policy := range []string{"leveled", "tiered"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			cfg := lsmSnapConfig(policy)
+			spec := snapTestSpec()
+			snap := captureSnapshot(t, cfg)
+
+			if got, want := forkedRun(t, snap, cfg, spec), directRun(t, cfg, spec); got != want {
+				t.Errorf("forked LSM run diverged from direct run:\n--- fork ---\n%s\n--- direct ---\n%s", got, want)
+			}
+
+			// One LSM template serves both policies and any memtable bound:
+			// those are run-phase knobs, outside the load fingerprint.
+			varied := cfg
+			varied.Seed = 99
+			varied.Compaction = map[string]string{"leveled": "tiered", "tiered": "leveled"}[policy]
+			varied.MemtableEntries = 192
+			if got, want := forkedRun(t, snap, varied, spec), directRun(t, varied, spec); got != want {
+				t.Errorf("forked LSM run (varied run-phase config) diverged from direct run:\n--- fork ---\n%s\n--- direct ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestLSMSnapshotForkIsolation forks one LSM snapshot from many goroutines
+// at once (run under -race): sibling forks share immutable snapshot state
+// only, so every fork must produce the identical signature with no data
+// races across WAL buffers, run payloads or the allocator.
+func TestLSMSnapshotForkIsolation(t *testing.T) {
+	cfg := lsmSnapConfig("leveled")
+	spec := snapTestSpec()
+	snap := captureSnapshot(t, cfg)
+	want := directRun(t, cfg, spec)
+
+	const forks = 6
+	sigs := make([]string, forks)
+	var wg sync.WaitGroup
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db, err := snap.Fork(cfg)
+			if err != nil {
+				sigs[i] = "fork error: " + err.Error()
+				return
+			}
+			m, err := db.Run(spec)
+			if err != nil {
+				sigs[i] = "run error: " + err.Error()
+				return
+			}
+			sigs[i] = runSignature(db, m)
+		}(i)
+	}
+	wg.Wait()
+	for i, sig := range sigs {
+		if sig != want {
+			t.Errorf("LSM fork %d diverged from direct run:\n--- fork ---\n%s\n--- direct ---\n%s", i, sig, want)
+		}
+	}
+	if got := forkedRun(t, snap, cfg, spec); got != want {
+		t.Error("LSM fork after concurrent use diverged — snapshot state was mutated")
+	}
+}
+
+// TestSnapshotEngineGate pins the cross-backend refusal: the engine is a
+// load-phase axis, so a journal snapshot must never fork into an LSM config
+// or vice versa — the load fingerprints differ by construction.
+func TestSnapshotEngineGate(t *testing.T) {
+	lsmCfg := lsmSnapConfig("leveled")
+	journalCfg := lsmCfg
+	journalCfg.Engine = "journal"
+
+	jfp, ok := checkin.LoadFingerprint(journalCfg)
+	if !ok {
+		t.Fatal("journal config not snapshottable")
+	}
+	lfp, ok := checkin.LoadFingerprint(lsmCfg)
+	if !ok {
+		t.Fatal("lsm config not snapshottable")
+	}
+	if jfp == lfp {
+		t.Fatal("journal and lsm configs share a load fingerprint — the template cache would serve a journal snapshot to an LSM run")
+	}
+
+	jsnap := captureSnapshot(t, journalCfg)
+	if _, err := jsnap.Fork(lsmCfg); err == nil {
+		t.Error("journal snapshot forked into an LSM config")
+	}
+	lsnap := captureSnapshot(t, lsmCfg)
+	if _, err := lsnap.Fork(journalCfg); err == nil {
+		t.Error("LSM snapshot forked into a journal config")
+	}
+}
